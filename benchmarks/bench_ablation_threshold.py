@@ -1,0 +1,80 @@
+"""Ablation: the rendezvous threshold as the aggregation budget (§4).
+
+The aggregation strategy "accumulates communication requests as long as the
+cumulated length does not require to switch to the rendez-vous protocol" —
+so the NIC's rendezvous threshold *is* the aggregation budget.  Sweeping it
+over a 16 x 1 KB burst exposes both cliffs:
+
+* a threshold **below the segment size** forces every segment through a
+  rendezvous handshake — by far the worst choice;
+* among eager regimes, a *larger* budget means larger aggregates, which
+  arrive as one block and then drain the receive-copy queue serially,
+  while smaller aggregates pipeline copies with arrivals.  The budget
+  controls a real trade, it is not "bigger is better".
+
+The companion invariant test proves no eager aggregate ever crosses the
+switch point regardless of the setting.
+"""
+
+import pytest
+
+from repro.bench import Series, pingpong_multiseg, render_table
+from repro.netsim import KB, MX_MYRI10G
+
+THRESHOLDS = [512, 2 * KB, 8 * KB, 32 * KB]
+SEG = 1 * KB
+N_SEG = 16
+
+
+def test_threshold_sweep(benchmark, emit):
+    def sweep():
+        out = {}
+        for thr in THRESHOLDS:
+            profile = MX_MYRI10G.with_overrides(rdv_threshold=thr)
+            out[thr] = pingpong_multiseg("madmpi", profile, SEG, N_SEG,
+                                         iters=3)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = [Series(label="madmpi", backend="madmpi",
+                     sizes=list(out), values=list(out.values()))]
+    emit(render_table(
+        f"== Ablation: rendezvous threshold vs {N_SEG}x{SEG}B burst latency "
+        "(threshold on the size axis) ==", series))
+    # A threshold below the segment size forces a handshake per segment —
+    # clearly worse than a well-sized budget (the handshakes pipeline, so
+    # the penalty is real but not catastrophic).
+    assert out[512] > 1.3 * out[2 * KB]
+    # Among eager regimes, giant aggregates serialize the receive-copy
+    # queue behind one big arrival: the largest budget is not the fastest.
+    assert out[2 * KB] < out[32 * KB]
+
+
+def test_aggregate_never_exceeds_threshold(benchmark, emit):
+    """Invariant under the sweep: no eager aggregate crosses the switch."""
+    from repro.bench.backends import make_backend_pair
+    from repro.core.data import VirtualData
+
+    def run(thr):
+        profile = MX_MYRI10G.with_overrides(rdv_threshold=thr)
+        pair = make_backend_pair("madmpi", rails=(profile,))
+        sim, m0, m1 = pair.sim, pair.m0, pair.m1
+        comms = [pair.world.dup() for _ in range(N_SEG)]
+
+        def app():
+            recvs = [m1.irecv(source=0, comm=c) for c in comms]
+            for c in comms:
+                m0.isend(VirtualData(SEG), dest=1, comm=c)
+            yield sim.all_of([r.done for r in recvs])
+
+        sim.run_process(app())
+        stats = m0.engine.stats
+        assert stats.eager_bytes + stats.rdv_bytes == N_SEG * SEG
+        return stats.phys_packets
+
+    packets = benchmark.pedantic(
+        lambda: {thr: run(thr) for thr in THRESHOLDS}, rounds=1, iterations=1)
+    emit(f"physical packets per threshold: {packets}")
+    # Smaller budget -> more physical packets (monotone).
+    values = [packets[t] for t in THRESHOLDS]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,103 @@
+"""Extension bench: collectives over the engine (paper §7 future work).
+
+The paper leaves "porting a full featured MPI implementation" to future
+work; the collectives layered on MAD-MPI's point-to-point subset are our
+step in that direction.  This bench scales broadcast and allreduce over
+cluster size and checks the log-P behaviour of the tree algorithms, plus
+the engine's aggregation benefit on alltoall bursts.
+"""
+
+import pytest
+
+from repro.core import NmadEngine
+from repro.madmpi import Communicator, MadMpi, allreduce, alltoall, bcast
+from repro.netsim import Cluster, MX_MYRI10G
+from repro.sim import Simulator
+
+
+def make_world(n, strategy="aggregation"):
+    sim = Simulator()
+    cluster = Cluster(sim, n_nodes=n, rails=(MX_MYRI10G,))
+    world = Communicator(list(range(n)))
+    mpis = [MadMpi(NmadEngine(cluster.node(i), strategy=strategy), world)
+            for i in range(n)]
+    return sim, mpis
+
+
+def run_spmd(sim, mpis, fn):
+    procs = [sim.spawn(fn(mpis[r], r), name=f"rank{r}")
+             for r in range(len(mpis))]
+    sim.run()
+    assert all(p.triggered and p.ok for p in procs)
+    return sim.now
+
+
+def _bcast_time(n, size):
+    sim, mpis = make_world(n)
+    payload = bytes(size)
+
+    def fn(mpi, rank):
+        yield from bcast(mpi, payload if rank == 0 else None, root=0)
+
+    return run_spmd(sim, mpis, fn)
+
+
+def _allreduce_time(n):
+    sim, mpis = make_world(n)
+
+    def int_sum(a, b):
+        return (int.from_bytes(a, "little")
+                + int.from_bytes(b, "little")).to_bytes(8, "little")
+
+    def fn(mpi, rank):
+        yield from allreduce(mpi, rank.to_bytes(8, "little"), int_sum)
+
+    return run_spmd(sim, mpis, fn)
+
+
+def test_bcast_scales_logarithmically(benchmark, emit):
+    sizes = (2, 4, 8, 16)
+    times = benchmark.pedantic(
+        lambda: {n: _bcast_time(n, 1024) for n in sizes},
+        rounds=1, iterations=1)
+    emit("== Broadcast (1KB) completion time vs cluster size ==\n"
+         + "\n".join(f"  P={n:<3} {t:8.2f} us" for n, t in times.items()))
+    # Binomial tree: 16 ranks take 4 rounds vs 2 rounds for 4 ranks, so the
+    # ratio sits near 2 (plus root-side injection serialization) — a linear
+    # algorithm would be 5x (15 vs 3 sends from the root).
+    assert times[16] < 3.0 * times[4]
+    # And strictly grows with P.
+    vals = list(times.values())
+    assert vals == sorted(vals)
+
+
+def test_allreduce_scales(benchmark, emit):
+    sizes = (2, 4, 8)
+    times = benchmark.pedantic(
+        lambda: {n: _allreduce_time(n) for n in sizes}, rounds=1,
+        iterations=1)
+    emit("== Allreduce (8B sum) completion time vs cluster size ==\n"
+         + "\n".join(f"  P={n:<3} {t:8.2f} us" for n, t in times.items()))
+    # Reduce+bcast is 2x(log P) rounds: 8 ranks ~3x the 2-rank time, where
+    # a linear gather+bcast would be ~7x.
+    assert times[8] < 4.0 * times[2]
+
+
+def test_alltoall_packet_count_with_aggregation(benchmark, emit):
+    n = 6
+
+    def count(strategy):
+        sim, mpis = make_world(n, strategy=strategy)
+
+        def fn(mpi, rank):
+            yield from alltoall(mpi, [bytes(32)] * n)
+
+        run_spmd(sim, mpis, fn)
+        return sum(m.engine.stats.phys_packets for m in mpis)
+
+    counts = benchmark.pedantic(
+        lambda: {s: count(s) for s in ("aggregation", "fifo")},
+        rounds=1, iterations=1)
+    emit(f"== Alltoall (P={n}, 32B chunks) total physical packets: "
+         f"{counts} ==")
+    assert counts["aggregation"] <= counts["fifo"]

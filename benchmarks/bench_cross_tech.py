@@ -1,0 +1,69 @@
+"""Cross-technology sweep: the engine over every §4 port.
+
+Paper §4: "A NewMadeleine prototype has been implemented over GM/MYRINET,
+MX/MYRINET, ELAN/QUADRICS, SISCI/SCI and TCP/ETHERNET", with strategies
+"independent from the network technology ... any strategy can be directly
+combined with any network protocol".  This bench runs the multi-segment
+aggregation workload over all five profiles and checks the
+technology-independence claim: aggregation wins over direct mapping on
+every network, with the margin scaling with each NIC's per-message cost.
+"""
+
+import pytest
+
+from repro.bench import Series, pingpong_multiseg, render_table
+from repro.netsim import (
+    GM_MYRINET,
+    MX_MYRI10G,
+    QUADRICS_QM500,
+    SISCI_SCI,
+    TCP_GIGE,
+)
+
+ALL_PROFILES = (MX_MYRI10G, QUADRICS_QM500, GM_MYRINET, SISCI_SCI, TCP_GIGE)
+SEG, N_SEG = 64, 16
+
+
+def test_aggregation_wins_on_every_technology(benchmark, emit):
+    def sweep():
+        out = {}
+        for profile in ALL_PROFILES:
+            agg = pingpong_multiseg("madmpi", profile, SEG, N_SEG, iters=2)
+            fifo = pingpong_multiseg("madmpi-fifo", profile, SEG, N_SEG,
+                                     iters=2)
+            out[profile.name] = (agg, fifo)
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"== {N_SEG}x{SEG}B burst: engine aggregation vs direct "
+             "mapping, every port (paper 4) =="]
+    for name, (agg, fifo) in out.items():
+        lines.append(f"  {name:16s} aggregation {agg:9.2f} us   "
+                     f"fifo {fifo:9.2f} us   ({fifo / agg:4.1f}x)")
+    emit("\n".join(lines))
+    for name, (agg, fifo) in out.items():
+        assert agg < fifo, f"aggregation must win on {name}"
+    factors = {name: fifo / agg for name, (agg, fifo) in out.items()}
+    # A solid factor everywhere — the strategy really is tech-independent.
+    assert all(f > 1.5 for f in factors.values()), factors
+    # NICs without hardware gather/scatter (GM, SCI) pay staging copies for
+    # each aggregate, so their factor is the smallest.
+    assert max(factors["gm_myrinet"], factors["sisci_sci"]) < min(
+        factors["mx_myri10g"], factors["quadrics_qm500"])
+
+
+def test_latency_ordering_matches_technology(benchmark, emit):
+    from repro.bench import pingpong_single
+
+    def sweep():
+        return {p.name: pingpong_single("madmpi", p, 4, iters=2)
+                for p in ALL_PROFILES}
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = [Series(label="MadMPI 4B latency", backend="madmpi",
+                     sizes=list(range(len(out))), values=list(out.values()))]
+    emit("== 4B one-way latency per technology ==\n" + "\n".join(
+        f"  {name:16s} {t:8.2f} us" for name, t in out.items()))
+    # 2006 reality check: Quadrics < MX < SCI < GM < TCP.
+    assert out["quadrics_qm500"] < out["mx_myri10g"] < out["sisci_sci"] \
+        < out["gm_myrinet"] < out["tcp_gige"]

@@ -1,0 +1,105 @@
+"""The §5.3 crossover: when is packing the *right* thing to do?
+
+Paper §5.3 on MPICH's pack-into-contiguous-buffer approach: "This behaviour
+is certainly optimized when dealing with a small overall data size as the
+memcpy operations for each of the data blocks will cost less than the
+multiple communication operations.  However, the cost of a memory copy
+operation being proportional to the size of the data, this behaviour is no
+longer optimized when dealing with bigger blocks."
+
+The "multiple communication operations" packing is compared against are
+*naive per-block sends* — one network operation per block, which is what
+``madmpi-fifo`` (per-block requests, no optimization window) produces.
+This bench sweeps the large-block size of the indexed datatype and shows
+all three schemes:
+
+* **MPICH pack** beats naive per-block sends for small blocks and loses for
+  big ones — the paper's crossover, reproduced;
+* **MAD-MPI with aggregation** is the paper's resolution of the dilemma:
+  per-block requests whose small blocks coalesce, so it tracks the better
+  of the two at both ends (and beats packing even in pack-friendly
+  territory).
+"""
+
+import pytest
+
+from repro.bench import Series, pingpong_datatype, render_table
+from repro.netsim import KB, MX_MYRI10G
+
+#: Large-block sizes swept (small block fixed at 64 B, 8 block pairs).
+LARGE_BLOCKS = [256, 1 * KB, 4 * KB, 16 * KB, 64 * KB, 256 * KB]
+REPEATS = 8
+
+SCHEMES = {
+    "madmpi": "MAD-MPI (window)",
+    "madmpi-fifo": "naive per-block",
+    "mpich": "MPICH pack",
+}
+
+
+def _transfer_time(backend, large):
+    total = REPEATS * (64 + large)
+    return pingpong_datatype(backend, MX_MYRI10G, total, small=64,
+                             large=large, iters=2)
+
+
+def test_datatype_crossover(benchmark, emit):
+    def sweep():
+        return {
+            backend: [_transfer_time(backend, lb) for lb in LARGE_BLOCKS]
+            for backend in SCHEMES
+        }
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = [Series(label=label, backend=backend, sizes=LARGE_BLOCKS,
+                     values=out[backend])
+              for backend, label in SCHEMES.items()]
+    emit(render_table(
+        f"== Indexed datatype, {REPEATS}x(64B + large) pairs: transfer time "
+        "vs large-block size ==", series))
+    pack = out["mpich"]
+    naive = out["madmpi-fifo"]
+    window = out["madmpi"]
+    # The paper's §5.3 rationale: packing beats naive per-block sends for
+    # small blocks...
+    assert pack[0] < naive[0], (
+        f"pack should beat naive per-block at 256B blocks: "
+        f"{pack[0]:.1f} vs {naive[0]:.1f}"
+    )
+    # ...and is "no longer optimized" for big blocks (the crossover).
+    assert pack[-1] > 2.0 * naive[-1]
+    crossover_exists = any(
+        pack[i] < naive[i] and pack[i + 1] > naive[i + 1]
+        for i in range(len(LARGE_BLOCKS) - 1)
+    )
+    assert crossover_exists, (
+        f"no pack/per-block crossover found: pack={pack} naive={naive}"
+    )
+    # The engine's window resolves the dilemma: near the better scheme at
+    # both ends, and strictly better than packing everywhere.
+    for idx in range(len(LARGE_BLOCKS)):
+        assert window[idx] < pack[idx]
+        assert window[idx] < 1.4 * naive[idx]
+
+
+def test_all_small_blocks_pack_beats_naive(benchmark, emit):
+    """A datatype of *only* tiny blocks: pack crushes naive per-block sends,
+    and the optimization window rescues the per-block approach."""
+
+    def run():
+        # 128 blocks of 64 B.
+        return {
+            backend: pingpong_datatype(backend, MX_MYRI10G, 128 * 64,
+                                       small=64, large=64, iters=2)
+            for backend in SCHEMES
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(f"== 128x64B all-small datatype: window {out['madmpi']:.2f} us, "
+         f"pack {out['mpich']:.2f} us, naive per-block "
+         f"{out['madmpi-fifo']:.2f} us ==")
+    # Paper 5.3: "the memcpy operations ... will cost less than the
+    # multiple communication operations".
+    assert out["mpich"] < out["madmpi-fifo"] / 1.5
+    # And the window makes per-block requests cheaper than both.
+    assert out["madmpi"] < out["mpich"]

@@ -1,0 +1,93 @@
+"""Figure 4: indexed-datatype ping-pong (derived datatypes, §5.3).
+
+The exchanged datatype repeats (64 B small block, 256 KB large block)
+pairs; total data size sweeps 256 KB .. 2 MB.  MPICH packs/unpacks the full
+message (two size-proportional copies); OpenMPI pipelines the pack; MAD-MPI
+issues per-block requests so small blocks aggregate with the rendezvous
+requests of large blocks, which land zero-copy.
+
+Shape assertions (paper claims):
+* "a gain of about 70 % in comparison with MPICH ... over MX" — we accept
+  55-80 %, and it must hold across the whole sweep (the advantage is
+  proportional, not a crossover).
+* "about 50 % with OPENMPI" over MX — we accept 40-65 %.
+* "until about 70 % versus MPICH over QUADRICS" — we accept 45-75 %.
+* Ordering everywhere: MadMPI < OpenMPI < MPICH transfer time.
+"""
+
+import pytest
+
+from repro.bench.plot import render_plot
+from repro.bench import (
+    find_series,
+    gain_percent,
+    render_gains,
+    render_table,
+    run_figure4,
+)
+from repro.netsim import MX_MYRI10G, QUADRICS_QM500
+
+
+def _sweep(sweep_cache, profile):
+    key = ("fig4", profile.name)
+    if key not in sweep_cache:
+        sweep_cache[key] = run_figure4(profile, iters=3)
+    return sweep_cache[key]
+
+
+def _gains(series, over: str) -> list[float]:
+    mad = find_series(series, "madmpi")
+    other = find_series(series, over)
+    return [gain_percent(b, m) for b, m in zip(other.values, mad.values)]
+
+
+def test_fig4a_datatype_mx(benchmark, emit, sweep_cache):
+    series = benchmark.pedantic(
+        lambda: _sweep(sweep_cache, MX_MYRI10G), rounds=1, iterations=1)
+    emit(render_table(
+        "== Figure 4(a): indexed datatype transfer time over MX/Myrinet ==",
+        series))
+    emit(render_plot("Figure 4(a) as a log-log plot:", series))
+    emit(render_gains(series))
+    gains_mpich = _gains(series, "mpich")
+    assert all(55.0 <= g <= 80.0 for g in gains_mpich), (
+        f"gain vs MPICH-MX should be 'about 70%', got {gains_mpich}"
+    )
+    gains_openmpi = _gains(series, "openmpi")
+    assert all(40.0 <= g <= 65.0 for g in gains_openmpi), (
+        f"gain vs OpenMPI-MX should be 'about 50%', got {gains_openmpi}"
+    )
+    # Ordering: zero-copy < pipelined pack < full pack.
+    mad = find_series(series, "madmpi")
+    omp = find_series(series, "openmpi")
+    mpich = find_series(series, "mpich")
+    for idx in range(len(mad.sizes)):
+        assert mad.values[idx] < omp.values[idx] < mpich.values[idx]
+
+
+def test_fig4b_datatype_quadrics(benchmark, emit, sweep_cache):
+    series = benchmark.pedantic(
+        lambda: _sweep(sweep_cache, QUADRICS_QM500), rounds=1, iterations=1)
+    emit(render_table(
+        "== Figure 4(b): indexed datatype transfer time over Elan/Quadrics ==",
+        series))
+    emit(render_gains(series))
+    gains = _gains(series, "mpich")
+    assert all(45.0 <= g <= 75.0 for g in gains), (
+        f"gain vs MPICH-Quadrics should approach the paper's 70%, got "
+        f"{gains}"
+    )
+
+
+def test_fig4_transfer_time_scales_linearly(benchmark, emit, sweep_cache):
+    """Doubling the data roughly doubles every backend's transfer time."""
+    series = benchmark.pedantic(
+        lambda: _sweep(sweep_cache, MX_MYRI10G), rounds=1, iterations=1)
+    for s in series:
+        for (sz_a, t_a), (sz_b, t_b) in zip(
+                zip(s.sizes, s.values), zip(s.sizes[1:], s.values[1:])):
+            ratio = t_b / t_a
+            assert 1.6 <= ratio <= 2.4, (
+                f"{s.label}: time {t_a:.0f}->{t_b:.0f}us for "
+                f"{sz_a}->{sz_b}B is not ~linear"
+            )

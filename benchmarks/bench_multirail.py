@@ -1,0 +1,76 @@
+"""Multirail bench: the paper's second strategy and its §7 future work.
+
+Streams large messages over (a) the MX rail alone, (b) the Quadrics rail
+alone, and (c) both under the multirail strategy, which splits granted
+rendezvous transfers greedily across idle NICs.  Checks that the split
+aggregates bandwidth and converges to the rails' bandwidth ratio.
+"""
+
+import pytest
+
+from repro.bench import Series, render_table
+from repro.bench.backends import make_backend_pair
+from repro.core import EngineParams
+from repro.core.data import VirtualData
+from repro.netsim import MB, MX_MYRI10G, QUADRICS_QM500
+
+SIZES = [1 * MB, 2 * MB, 4 * MB]
+CHUNK = 128 * 1024
+
+
+def _one_way(rails, strategy, size):
+    pair = make_backend_pair(
+        "madmpi", rails=rails, strategy=strategy,
+        engine_params=EngineParams(rdv_chunk_bytes=CHUNK))
+    sim, m0, m1 = pair.sim, pair.m0, pair.m1
+
+    def app():
+        req = m1.irecv(source=0)
+        m0.isend(VirtualData(size), dest=1)
+        yield req.done
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    split = [nic.bytes_sent for nic in pair.cluster.node(0).nics]
+    return elapsed, split
+
+
+def test_multirail_aggregates_bandwidth(benchmark, emit):
+    def sweep():
+        out = {}
+        for label, rails, strategy in (
+            ("MX only", (MX_MYRI10G,), "aggregation"),
+            ("Quadrics only", (QUADRICS_QM500,), "aggregation"),
+            ("MX+Quadrics", (MX_MYRI10G, QUADRICS_QM500), "multirail"),
+        ):
+            out[label] = [_one_way(rails, strategy, s)[0] for s in SIZES]
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    series = [Series(label=k, backend=k, sizes=SIZES, values=v)
+              for k, v in out.items()]
+    emit(render_table("== Multirail: one-way transfer time ==", series))
+    bw = [Series(label=k, backend=k, sizes=SIZES,
+                 values=[s / t for s, t in zip(SIZES, v)], unit="MB/s")
+          for k, v in out.items()]
+    emit(render_table("-- derived bandwidth --", bw))
+    for idx in range(len(SIZES)):
+        assert out["MX+Quadrics"][idx] < out["MX only"][idx] \
+            < out["Quadrics only"][idx]
+    # At 4MB the aggregate bandwidth approaches the sum of the rails.
+    agg_bw = SIZES[-1] / out["MX+Quadrics"][-1]
+    assert agg_bw > 0.80 * (MX_MYRI10G.bandwidth_mbps
+                            + QUADRICS_QM500.bandwidth_mbps)
+
+
+def test_split_ratio_tracks_bandwidth_ratio(benchmark, emit):
+    elapsed, split = benchmark.pedantic(
+        lambda: _one_way((MX_MYRI10G, QUADRICS_QM500), "multirail", 4 * MB),
+        rounds=1, iterations=1)
+    total = sum(split)
+    mx_share = split[0] / total
+    expected = MX_MYRI10G.bandwidth_mbps / (
+        MX_MYRI10G.bandwidth_mbps + QUADRICS_QM500.bandwidth_mbps)
+    emit(f"4MB split: MX carried {100 * mx_share:.1f}% "
+         f"(bandwidth ratio predicts {100 * expected:.1f}%)")
+    assert mx_share == pytest.approx(expected, abs=0.08)

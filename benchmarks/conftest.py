@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark prints its paper-style table through :func:`emit` (bypassing
+pytest's capture so the series appear in ``pytest benchmarks/
+--benchmark-only`` output) and records the sweeps in a module cache so the
+latency and derived-bandwidth panels of one figure measure the sweep once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_SWEEP_CACHE: dict = {}
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print ``text`` directly to the terminal, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _emit
+
+
+@pytest.fixture()
+def sweep_cache():
+    """Session-wide cache so sibling panels reuse one sweep."""
+    return _SWEEP_CACHE

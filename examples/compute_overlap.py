@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Communication/computation overlap (paper §2's third preference).
+
+"A preference for communication overlap may be more suitable for computing
+intensive applications."  Because NewMadeleine unties request processing
+from the application workflow, an ``isend`` returns immediately and the
+engine drives the NICs while the application computes; the paper's three
+preferences (latency / bandwidth / overlap) are all reachable from the same
+API.
+
+This example pipelines a stencil-like loop — compute a block, send halo,
+compute next block — and compares the makespan against the same loop
+without overlap (wait for each send before computing on).
+
+Run:  python examples/compute_overlap.py
+"""
+
+from repro.core import NmadEngine, VirtualData
+from repro.netsim import Cluster, MX_MYRI10G
+from repro.sim import Simulator
+
+BLOCKS = 10
+HALO_BYTES = 24_000       # ~20us on the wire
+COMPUTE_US = 22.0         # per block, similar to the transfer time
+
+
+def run(overlap: bool) -> float:
+    sim = Simulator()
+    cluster = Cluster(sim, rails=(MX_MYRI10G,))
+    worker = NmadEngine(cluster.node(0))
+    neighbour = NmadEngine(cluster.node(1))
+
+    def neighbour_app():
+        for i in range(BLOCKS):
+            req = neighbour.irecv(src=0, tag=i)
+            yield req.done
+
+    def worker_app():
+        pending = []
+        for i in range(BLOCKS):
+            yield sim.timeout(COMPUTE_US)          # compute block i
+            req = worker.isend(1, VirtualData(HALO_BYTES), tag=i)
+            if overlap:
+                pending.append(req)                # keep computing
+            else:
+                yield req.done                     # synchronous style
+        for req in pending:
+            yield req.done
+        return sim.now
+
+    sim.spawn(neighbour_app())
+    return sim.run_process(worker_app())
+
+
+def main() -> None:
+    t_sync = run(overlap=False)
+    t_overlap = run(overlap=True)
+    ideal = BLOCKS * COMPUTE_US
+    print(f"{BLOCKS} blocks of {COMPUTE_US}us compute + {HALO_BYTES}B halo "
+          "exchange:")
+    print(f"  synchronous sends:  {t_sync:8.1f} us")
+    print(f"  overlapped sends:   {t_overlap:8.1f} us")
+    print(f"  pure compute bound: {ideal:8.1f} us")
+    hidden = 100.0 * (t_sync - t_overlap) / (t_sync - ideal)
+    print(f"\nOverlap hid {hidden:.0f}% of the communication time behind "
+          "computation.")
+    assert t_overlap < t_sync
+
+
+if __name__ == "__main__":
+    main()

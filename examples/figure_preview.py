@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate a quick preview of every paper figure as text tables.
+
+This is the examples-sized version of the full benchmark harness (see
+``benchmarks/``): a coarser size sweep so it finishes in seconds, printing
+the same backend-vs-size tables the benches produce and the paper plots.
+
+Run:  python examples/figure_preview.py
+"""
+
+from repro.bench import (
+    find_series,
+    render_gains,
+    render_table,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+)
+from repro.netsim import KB, MB, MX_MYRI10G, QUADRICS_QM500
+
+
+def main() -> None:
+    fig2_sizes = [4, 64, 1 * KB, 16 * KB, 256 * KB, 2 * MB]
+
+    for profile, tag in ((MX_MYRI10G, "a/b"), (QUADRICS_QM500, "c/d")):
+        series = run_figure2(profile, sizes=fig2_sizes, iters=2)
+        print(render_table(
+            f"\n== Figure 2({tag}) ping-pong latency over {profile.name} ==",
+            series))
+        print(render_table(
+            f"-- derived bandwidth --",
+            [s.to_bandwidth() for s in series]))
+
+    for profile, nseg, panel in ((MX_MYRI10G, 8, "3a"), (MX_MYRI10G, 16, "3b"),
+                                 (QUADRICS_QM500, 8, "3c"),
+                                 (QUADRICS_QM500, 16, "3d")):
+        top = 16 * KB if profile.tech == "mx" else 8 * KB
+        sizes = [4, 64, 1 * KB, top]
+        series = run_figure3(profile, n_segments=nseg, sizes=sizes, iters=2)
+        print(render_table(
+            f"\n== Figure {panel}: {nseg}-segment ping-pong over "
+            f"{profile.name} ==", series))
+        print(render_gains(series))
+
+    for profile, panel in ((MX_MYRI10G, "4a"), (QUADRICS_QM500, "4b")):
+        series = run_figure4(profile, sizes=[256 * KB, 1 * MB, 2 * MB],
+                             iters=2)
+        print(render_table(
+            f"\n== Figure {panel}: indexed datatype over {profile.name} ==",
+            series))
+        print(render_gains(series))
+
+
+if __name__ == "__main__":
+    main()

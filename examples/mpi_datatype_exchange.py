@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""MAD-MPI derived datatypes vs the MPICH pack model (the §5.3 story).
+
+Exchanges the paper's indexed datatype — repeats of a 64 B block followed
+by a 256 KB block — through three backends and prints where the time goes:
+
+* MPICH packs everything into a contiguous buffer (copy #1), ships it in
+  one transaction, receives into a temporary area and dispatches (copy #2).
+* OpenMPI does the same but overlaps packing with injection, chunk by chunk.
+* MAD-MPI issues one request per block: the engine aggregates the small
+  blocks with the rendezvous requests of the large ones, and the large
+  blocks land zero-copy at their final destination.
+
+Run:  python examples/mpi_datatype_exchange.py
+"""
+
+from repro.bench import backend_label, make_backend_pair
+from repro.core.data import VirtualData
+from repro.madmpi import indexed_small_large
+from repro.netsim import MX_MYRI10G
+
+REPEATS = 4  # ~1 MB of data
+
+
+def run(backend: str) -> tuple[str, float, int]:
+    dtype = indexed_small_large(repeats=REPEATS)
+    pair = make_backend_pair(backend, rails=(MX_MYRI10G,))
+    m0, m1 = pair.m0, pair.m1
+    sim = pair.sim
+
+    def app():
+        rreq = m1.irecv(source=0, datatype=dtype)
+        m0.isend(VirtualData(dtype.extent), dest=1, datatype=dtype)
+        yield rreq.done
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    copies = 0
+    if backend.startswith("madmpi"):
+        copies = pair.m1.engine.stats.recv_copy_bytes
+    return backend_label(backend, MX_MYRI10G), elapsed, copies
+
+
+def main() -> None:
+    dtype = indexed_small_large(repeats=REPEATS)
+    print(f"Indexed datatype: {REPEATS} x (64 B + 256 KB) blocks, "
+          f"{dtype.size} data bytes, one-way transfer over MX:\n")
+    results = [run(b) for b in ("madmpi", "openmpi", "mpich")]
+    best = min(t for _, t, _ in results)
+    for label, elapsed, copies in results:
+        bar = "#" * int(40 * elapsed / max(t for _, t, _ in results))
+        print(f"  {label:14s} {elapsed:9.1f} us  {bar}")
+    mad = results[0][1]
+    mpich = results[2][1]
+    print(f"\nMAD-MPI gain over MPICH: {100 * (1 - mad / mpich):.0f}% "
+          f"(paper 5.3: 'a gain of about 70 %')")
+    print(f"Bytes copied on the MAD-MPI receive side: {results[0][2]} "
+          f"(only the small blocks; the 256 KB blocks were zero-copy)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multirail: one message split heterogeneously over MX + Quadrics (§4, §7).
+
+The paper ships a "multi-rails [strategy] which balances the communication
+flow over the set of available NICS, possibly by splitting messages in a
+heterogeneous manner".  Here a single 4 MB message leaves node 0 over both
+a Myri-10G rail (1250 MB/s) and a Quadrics rail (910 MB/s) simultaneously;
+the receiver reassembles the chunks by offset.  The split is *greedy*: each
+idle NIC pulls the next chunk, so the byte ratio converges to the bandwidth
+ratio without any explicit ratio computation.
+
+Run:  python examples/multirail_transfer.py
+"""
+
+from repro.core import EngineParams, NmadEngine, VirtualData
+from repro.netsim import Cluster, MX_MYRI10G, QUADRICS_QM500
+from repro.sim import Simulator
+
+SIZE = 4 << 20  # 4 MB
+
+
+def run(rails, strategy):
+    sim = Simulator()
+    cluster = Cluster(sim, n_nodes=2, rails=rails)
+    params = EngineParams(rdv_chunk_bytes=128 * 1024)
+    sender = NmadEngine(cluster.node(0), strategy=strategy, params=params)
+    receiver = NmadEngine(cluster.node(1), strategy=strategy, params=params)
+
+    def app():
+        req = receiver.irecv(src=0, tag=1)
+        sender.isend(1, VirtualData(SIZE), tag=1)
+        yield req.done
+        return sim.now
+
+    elapsed = sim.run_process(app())
+    per_rail = [(nic.profile.name, nic.bytes_sent)
+                for nic in cluster.node(0).nics]
+    return elapsed, per_rail
+
+
+def main() -> None:
+    t_mx, _ = run((MX_MYRI10G,), "aggregation")
+    t_q, _ = run((QUADRICS_QM500,), "aggregation")
+    t_multi, split = run((MX_MYRI10G, QUADRICS_QM500), "multirail")
+
+    print(f"4 MB transfer, one-way:")
+    print(f"  MX rail alone:        {t_mx:9.1f} us  "
+          f"({SIZE / t_mx:7.1f} MB/s)")
+    print(f"  Quadrics rail alone:  {t_q:9.1f} us  ({SIZE / t_q:7.1f} MB/s)")
+    print(f"  both rails (split):   {t_multi:9.1f} us  "
+          f"({SIZE / t_multi:7.1f} MB/s)")
+    print("\nPer-rail bytes of the split transfer:")
+    total = sum(b for _, b in split)
+    for name, nbytes in split:
+        print(f"  {name:16s} {nbytes:>9} B  ({100.0 * nbytes / total:5.1f}%)")
+    bw_share = MX_MYRI10G.bandwidth_mbps / (
+        MX_MYRI10G.bandwidth_mbps + QUADRICS_QM500.bandwidth_mbps)
+    print(f"\nBandwidth ratio predicts {100 * bw_share:.1f}% on MX; the "
+          "greedy split converges to it without computing any ratio.")
+    assert t_multi < t_mx < t_q
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""RPC-style flow: the paper's motivating example for priorities (§2).
+
+An RPC request is "multiple fragments (service request, arguments, targeted
+object) of a remote method invocation": the tiny service id must arrive
+*early* — the receiver needs it "for preparing the data areas to receive
+the service arguments" — while the bulk arguments follow.
+
+This example sends a backlog of low-priority bulk traffic, then an RPC
+whose service id carries a high priority.  With the priority-aware
+aggregation strategy, the service id overtakes the queued bulk and lands
+first; the server prepares its buffers while the arguments are still on the
+wire.  The same run with plain FIFO shows the id stuck behind the backlog.
+
+Run:  python examples/rpc_priority.py
+"""
+
+from repro.core import AggregationStrategy, NmadEngine, begin_pack
+from repro.netsim import Cluster, MX_MYRI10G
+from repro.sim import Simulator
+
+RPC_FLOW = 7
+BULK_FLOW = 1
+
+
+def run(strategy, label):
+    sim = Simulator()
+    cluster = Cluster(sim, n_nodes=2, rails=(MX_MYRI10G,))
+    client = NmadEngine(cluster.node(0), strategy=strategy)
+    server = NmadEngine(cluster.node(1), strategy=strategy)
+    timeline = {}
+
+    def client_app():
+        # A backlog of unrelated bulk packets is already queued...
+        for i in range(6):
+            client.isend(1, b"x" * 4096, tag=i, flow=BULK_FLOW, priority=0)
+        # ...when the RPC is issued: service id first (high priority), then
+        # the arguments, which depend on the id having been scheduled.
+        rpc = begin_pack(client, dest=1, tag=0, flow=RPC_FLOW)
+        sid = rpc.pack(b"service:42", priority=10)
+        rpc.pack(b"A" * 8192, priority=0)
+        yield rpc.end_pack()
+
+    def server_app():
+        sid_req = server.irecv(src=0, tag=0, flow=RPC_FLOW)
+        yield sid_req.done
+        timeline["service_id"] = sim.now
+        # Now the server knows which method is called and can set up the
+        # argument landing area before the arguments finish arriving.
+        args_req = server.irecv(src=0, tag=0, flow=RPC_FLOW)
+        yield args_req.done
+        timeline["arguments"] = sim.now
+        # Drain the bulk traffic.
+        for _ in range(6):
+            req = server.irecv(src=0, flow=BULK_FLOW)
+            yield req.done
+        timeline["bulk_done"] = sim.now
+
+    sim.spawn(client_app())
+    sim.run_process(server_app())
+    print(f"{label:32s} service id at {timeline['service_id']:7.2f}us, "
+          f"arguments at {timeline['arguments']:7.2f}us, "
+          f"bulk backlog drained at {timeline['bulk_done']:7.2f}us")
+    return timeline
+
+
+def main() -> None:
+    print("RPC over a congested link - when does the service id arrive?\n")
+    prio = run(AggregationStrategy(by_priority=True),
+               "aggregation(by_priority=True):")
+    fifo = run("fifo", "fifo (no optimization):")
+    speedup = fifo["service_id"] / prio["service_id"]
+    print(f"\nPriority scheduling delivered the service id "
+          f"{speedup:.1f}x earlier.")
+    assert prio["service_id"] < fifo["service_id"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Reproduction of *NewMadeleine: a Fast Communication Scheduling Engine for
+High Performance Networks* (Aumage, Brunet, Furmento, Namyst — INRIA
+RR-6085, 2007).
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event kernel (events, processes, tracing).
+``repro.netsim``
+    Simulated hardware substrate: NICs, links, nodes, clusters, calibrated
+    technology profiles and the host memory model.
+``repro.core``
+    The NewMadeleine engine itself: optimization window, strategy database,
+    rendezvous protocol, transfer/collect layers, incremental pack API.
+``repro.madmpi``
+    MAD-MPI: the paper's MPI subset (plus derived datatypes and, as an
+    extension, collectives).
+``repro.baselines``
+    Executable models of the paper's comparators (MPICH, OpenMPI).
+``repro.bench``
+    The paper's ping-pong programs, figure sweeps, irregular-traffic
+    generator and table reporting.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.core import NmadEngine
+from repro.errors import ReproError
+from repro.madmpi import Communicator, MadMpi
+from repro.netsim import (
+    Cluster,
+    MX_MYRI10G,
+    PROFILES,
+    QUADRICS_QM500,
+)
+from repro.sim import Simulator, Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "Communicator",
+    "MX_MYRI10G",
+    "MadMpi",
+    "NmadEngine",
+    "PROFILES",
+    "QUADRICS_QM500",
+    "ReproError",
+    "Simulator",
+    "Tracer",
+    "__version__",
+]

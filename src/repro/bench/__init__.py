@@ -1,0 +1,57 @@
+"""Benchmark harness: backends, workloads, sweeps and reporting."""
+
+from repro.bench.backends import (
+    BACKENDS,
+    BackendPair,
+    backend_label,
+    make_backend_pair,
+)
+from repro.bench.pingpong import (
+    ISEND_CPU_US,
+    pingpong_datatype,
+    pingpong_multiseg,
+    pingpong_single,
+)
+from repro.bench.report import (
+    Series,
+    find_series,
+    gain_percent,
+    render_gains,
+    render_table,
+)
+from repro.bench.sweeps import (
+    FIG2_SIZES,
+    FIG3_SIZES_MX,
+    FIG3_SIZES_QUADRICS,
+    FIG4_SIZES,
+    MX_BACKENDS,
+    QUADRICS_BACKENDS,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+)
+
+__all__ = [
+    "BACKENDS",
+    "BackendPair",
+    "FIG2_SIZES",
+    "FIG3_SIZES_MX",
+    "FIG3_SIZES_QUADRICS",
+    "FIG4_SIZES",
+    "ISEND_CPU_US",
+    "MX_BACKENDS",
+    "QUADRICS_BACKENDS",
+    "Series",
+    "backend_label",
+    "find_series",
+    "gain_percent",
+    "make_backend_pair",
+    "pingpong_datatype",
+    "pingpong_multiseg",
+    "pingpong_single",
+    "render_gains",
+    "render_table",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+]

@@ -1,0 +1,131 @@
+"""Machine-checkable verdicts for every quantitative claim in the paper.
+
+Each :class:`Claim` names the paper passage, how we measure it, and the
+acceptance band; :func:`evaluate_claims` runs the needed sweeps once and
+returns one verdict per claim.  ``python -m repro validate`` prints the
+table — the reproduction's self-audit, mirroring EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.bench.report import Series, find_series, gain_percent
+from repro.bench.sweeps import run_figure2, run_figure3, run_figure4
+from repro.netsim import KB, MB, MX_MYRI10G, QUADRICS_QM500
+
+__all__ = ["Claim", "Verdict", "CLAIMS", "evaluate_claims", "render_verdicts"]
+
+#: Reduced sweeps keep `validate` interactive; the full benches use the
+#: complete figure axes.
+_FIG2_SIZES = [4, 8, 16, 32, 64, 2 * MB]
+_FIG3_SIZES = [4, 8, 16, 32, 64, 1 * KB]
+_FIG4_SIZES = [256 * KB, 1 * MB, 2 * MB]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement from the paper's evaluation."""
+
+    claim_id: str
+    figure: str
+    text: str               # the paper's wording (abridged)
+    measure: Callable[[dict], float]
+    lo: float
+    hi: float
+    unit: str
+
+
+@dataclass(frozen=True)
+class Verdict:
+    claim: Claim
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        return self.claim.lo <= self.measured <= self.claim.hi
+
+
+def _sweeps() -> dict:
+    """Run every sweep the claims need, once."""
+    return {
+        "fig2_mx": run_figure2(MX_MYRI10G, sizes=_FIG2_SIZES, iters=2),
+        "fig2_q": run_figure2(QUADRICS_QM500, sizes=_FIG2_SIZES, iters=2),
+        "fig3_mx16": run_figure3(MX_MYRI10G, n_segments=16,
+                                 sizes=_FIG3_SIZES, iters=2),
+        "fig3_q16": run_figure3(QUADRICS_QM500, n_segments=16,
+                                sizes=_FIG3_SIZES, iters=2),
+        "fig4_mx": run_figure4(MX_MYRI10G, sizes=_FIG4_SIZES, iters=2),
+        "fig4_q": run_figure4(QUADRICS_QM500, sizes=_FIG4_SIZES, iters=2),
+    }
+
+
+def _overhead_small(data: dict, key: str) -> float:
+    mad = find_series(data[key], "madmpi")
+    mpich = find_series(data[key], "mpich")
+    return max(mad.at(s) - mpich.at(s) for s in (4, 8, 16, 32, 64))
+
+
+def _peak_bw(data: dict, key: str) -> float:
+    return find_series(data[key], "madmpi").to_bandwidth().at(2 * MB)
+
+
+def _peak_gain(data: dict, key: str, over: str) -> float:
+    mad = find_series(data[key], "madmpi")
+    other = find_series(data[key], over)
+    return max(gain_percent(b, m) for b, m in zip(other.values, mad.values))
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim("overhead-mx", "Fig 2(a)",
+          "constant overhead of less than 0.5 us (MX)",
+          lambda d: _overhead_small(d, "fig2_mx"), 0.0, 0.5, "us"),
+    Claim("overhead-quadrics", "Fig 2(c)",
+          "constant overhead of less than 0.5 us (Quadrics)",
+          lambda d: _overhead_small(d, "fig2_q"), 0.0, 0.5, "us"),
+    Claim("bw-mx", "Fig 2(b)",
+          "reaches 1155 MB/s over MYRI-10G",
+          lambda d: _peak_bw(d, "fig2_mx"), 1100.0, 1250.0, "MB/s"),
+    Claim("bw-quadrics", "Fig 2(d)",
+          "835 MB/s over QUADRICS",
+          lambda d: _peak_bw(d, "fig2_q"), 790.0, 880.0, "MB/s"),
+    Claim("multiseg-mx", "Fig 3(b)",
+          "up to 70% faster than other MPIs over MX-10G (vs OpenMPI)",
+          lambda d: _peak_gain(d, "fig3_mx16", "openmpi"), 55.0, 80.0, "%"),
+    Claim("multiseg-quadrics", "Fig 3(d)",
+          "up to 50% faster than MPICH over QUADRICS",
+          lambda d: _peak_gain(d, "fig3_q16", "mpich"), 35.0, 65.0, "%"),
+    Claim("datatype-mpich-mx", "Fig 4(a)",
+          "gain of about 70% vs MPICH over MX",
+          lambda d: _peak_gain(d, "fig4_mx", "mpich"), 55.0, 80.0, "%"),
+    Claim("datatype-openmpi-mx", "Fig 4(a)",
+          "about 50% vs OpenMPI over MX",
+          lambda d: _peak_gain(d, "fig4_mx", "openmpi"), 40.0, 65.0, "%"),
+    Claim("datatype-quadrics", "Fig 4(b)",
+          "until about 70% vs MPICH over QUADRICS",
+          lambda d: _peak_gain(d, "fig4_q", "mpich"), 45.0, 75.0, "%"),
+)
+
+
+def evaluate_claims(claims: Sequence[Claim] = CLAIMS,
+                    data: Optional[dict] = None) -> list[Verdict]:
+    """Measure every claim; ``data`` may inject precomputed sweeps."""
+    data = data if data is not None else _sweeps()
+    return [Verdict(claim=c, measured=c.measure(data)) for c in claims]
+
+
+def render_verdicts(verdicts: Sequence[Verdict]) -> str:
+    """Printable verdict table."""
+    lines = [f"{'claim':<22} {'figure':<9} {'band':>16} {'measured':>10}  "
+             f"verdict"]
+    for v in verdicts:
+        band = f"[{v.claim.lo:g}, {v.claim.hi:g}] {v.claim.unit}"
+        status = "PASS" if v.passed else "FAIL"
+        lines.append(
+            f"{v.claim.claim_id:<22} {v.claim.figure:<9} {band:>16} "
+            f"{v.measured:>10.2f}  {status}  — {v.claim.text}"
+        )
+    n_pass = sum(v.passed for v in verdicts)
+    lines.append(f"{n_pass}/{len(verdicts)} claims reproduced")
+    return "\n".join(lines)

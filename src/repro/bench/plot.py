@@ -1,0 +1,79 @@
+"""ASCII rendering of figure series as log-log plots.
+
+The paper's figures are log-log curves; :func:`render_plot` draws the same
+curves in a terminal grid so a reader can eyeball shapes (who is above
+whom, where curves converge) without leaving the benchmark output.  One
+distinct marker per series; overlapping points show the *later* series'
+marker with a ``*`` when two series collide exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.bench.report import Series
+from repro.errors import ReproError
+from repro.netsim.units import format_size
+
+__all__ = ["render_plot"]
+
+_MARKERS = "ox+#@%"
+
+
+def render_plot(
+    title: str,
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = True,
+) -> str:
+    """Draw the series into a character grid; returns the printable text."""
+    if not series:
+        raise ReproError("nothing to plot")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series per plot")
+    if width < 16 or height < 6:
+        raise ReproError(f"plot area {width}x{height} too small")
+    xs = [x for s in series for x in s.sizes]
+    ys = [y for s in series for y in s.values]
+    if any(v <= 0 for v in xs + ys) and (logx or logy):
+        raise ReproError("log axes need strictly positive data")
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    x_lo, x_hi = min(map(tx, xs)), max(map(tx, xs))
+    y_lo, y_hi = min(map(ty, ys)), max(map(ty, ys))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, s in zip(_MARKERS, series):
+        for x, y in zip(s.sizes, s.values):
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = (height - 1) - round((ty(y) - y_lo) / y_span * (height - 1))
+            cell = grid[row][col]
+            grid[row][col] = marker if cell in (" ", marker) else "*"
+
+    y_top = f"{10 ** y_hi if logy else y_hi:.6g}"
+    y_bot = f"{10 ** y_lo if logy else y_lo:.6g}"
+    lines = [title]
+    for idx, row in enumerate(grid):
+        label = y_top if idx == 0 else (y_bot if idx == height - 1 else "")
+        lines.append(f"{label:>10} |{''.join(row)}|")
+    x_left = format_size(int(round(10 ** x_lo))) if logx \
+        else f"{x_lo:.6g}"
+    x_right = format_size(int(round(10 ** x_hi))) if logx \
+        else f"{x_hi:.6g}"
+    axis = f"{'':>10} +{'-' * width}+"
+    ticks = f"{'':>11}{x_left}{' ' * max(1, width - len(x_left) - len(x_right))}{x_right}"
+    lines.append(axis)
+    lines.append(ticks)
+    legend = "   ".join(f"{m}={s.label}" for m, s in zip(_MARKERS, series))
+    lines.append(f"{'':>11}{legend}   (* = overlap)")
+    return "\n".join(lines)

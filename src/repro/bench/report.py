@@ -1,0 +1,117 @@
+"""Result series and paper-style table rendering.
+
+The benchmark harness prints, for every figure, the same rows the paper
+plots: message size against one value per backend, plus the derived gain of
+MAD-MPI over each baseline (the numbers quoted in §5.2/§5.3: "up to 70 %
+faster", "a gain of about 70 %").  Gain is ``(t_base - t_mad) / t_base``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.netsim.units import format_size
+
+__all__ = ["Series", "gain_percent", "render_table", "render_gains",
+           "find_series"]
+
+
+@dataclass
+class Series:
+    """One curve of a figure: a backend's value per message size."""
+
+    label: str
+    backend: str
+    sizes: list[int]
+    values: list[float]
+    unit: str = "us"
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.values):
+            raise ReproError(
+                f"series {self.label!r}: {len(self.sizes)} sizes vs "
+                f"{len(self.values)} values"
+            )
+
+    def to_bandwidth(self) -> "Series":
+        """Derive MB/s from one-way latencies (the figure (b)/(d) panels)."""
+        if self.unit != "us":
+            raise ReproError(f"cannot derive bandwidth from {self.unit!r}")
+        return Series(
+            label=self.label,
+            backend=self.backend,
+            sizes=list(self.sizes),
+            values=[s / v if v > 0 else 0.0
+                    for s, v in zip(self.sizes, self.values)],
+            unit="MB/s",
+        )
+
+    def at(self, size: int) -> float:
+        """Value at an exact size (error if the sweep lacks it)."""
+        try:
+            return self.values[self.sizes.index(size)]
+        except ValueError:
+            raise ReproError(
+                f"series {self.label!r} has no size {size}"
+            ) from None
+
+
+def find_series(series: Sequence[Series], backend: str) -> Series:
+    """The series of one backend, by backend key."""
+    for s in series:
+        if s.backend == backend:
+            return s
+    raise ReproError(
+        f"no series for backend {backend!r} "
+        f"(have {[s.backend for s in series]})"
+    )
+
+
+def gain_percent(baseline: float, contender: float) -> float:
+    """Percent improvement of ``contender`` over ``baseline`` (paper-style)."""
+    if baseline <= 0:
+        raise ReproError(f"non-positive baseline value {baseline}")
+    return 100.0 * (baseline - contender) / baseline
+
+
+def render_table(title: str, series: Sequence[Series],
+                 value_fmt: str = "{:10.2f}") -> str:
+    """Render aligned rows: size, then one column per series."""
+    if not series:
+        raise ReproError("nothing to render")
+    sizes = series[0].sizes
+    for s in series:
+        if s.sizes != sizes:
+            raise ReproError(
+                f"series {s.label!r} has a different size axis"
+            )
+    header_cells = [f"{'size':>8}"] + [f"{s.label:>18}" for s in series]
+    lines = [title, "  ".join(header_cells)]
+    for idx, size in enumerate(sizes):
+        cells = [f"{format_size(size):>8}"]
+        for s in series:
+            cells.append(f"{value_fmt.format(s.values[idx]):>18}")
+        lines.append("  ".join(cells))
+    lines.append(f"(values in {series[0].unit})")
+    return "\n".join(lines)
+
+
+def render_gains(series: Sequence[Series], contender: str = "madmpi") -> str:
+    """Summarize the contender's peak gain over every other series."""
+    mine = find_series(series, contender)
+    lines = []
+    for other in series:
+        if other.backend == contender:
+            continue
+        gains = [gain_percent(b, m)
+                 for b, m in zip(other.values, mine.values)]
+        peak = max(gains)
+        peak_size = other.sizes[gains.index(peak)]
+        lines.append(
+            f"{mine.label} vs {other.label}: peak gain "
+            f"{peak:5.1f}% at {format_size(peak_size)} "
+            f"(mean {sum(gains) / len(gains):5.1f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""The paper's figure sweeps: which backends, sizes and workloads per figure."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.bench.backends import backend_label
+from repro.bench.pingpong import (
+    pingpong_datatype,
+    pingpong_multiseg,
+    pingpong_single,
+)
+from repro.bench.report import Series
+from repro.netsim import MX_MYRI10G, QUADRICS_QM500, NicProfile
+from repro.netsim.units import log2_size_sweep
+
+__all__ = [
+    "FIG2_SIZES",
+    "FIG3_SIZES_MX",
+    "FIG3_SIZES_QUADRICS",
+    "FIG4_SIZES",
+    "MX_BACKENDS",
+    "QUADRICS_BACKENDS",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+]
+
+#: Figure 2 x axis: 4 B .. 2 MB.
+FIG2_SIZES = log2_size_sweep("4", "2M")
+#: Figure 3 x axes: per-segment 4 B .. 16 KB (MX) / 4 B .. 8 KB (Quadrics).
+FIG3_SIZES_MX = log2_size_sweep("4", "16K")
+FIG3_SIZES_QUADRICS = log2_size_sweep("4", "8K")
+#: Figure 4 x axis: 256 KB .. 2 MB.
+FIG4_SIZES = log2_size_sweep("256K", "2M")
+
+#: The backends each figure compares, per network (matching the legends).
+MX_BACKENDS = ("madmpi", "mpich", "openmpi")
+QUADRICS_BACKENDS = ("madmpi", "mpich")
+
+
+def _sweep(
+    fn: Callable[..., float],
+    backends: Sequence[str],
+    profile: NicProfile,
+    sizes: Sequence[int],
+    **kwargs,
+) -> list[Series]:
+    out = []
+    for backend in backends:
+        ys = [fn(backend, profile, size, **kwargs) for size in sizes]
+        out.append(Series(label=backend_label(backend, profile),
+                          backend=backend, sizes=list(sizes), values=ys))
+    return out
+
+
+def run_figure2(
+    profile: NicProfile,
+    sizes: Sequence[int] = (),
+    iters: int = 3,
+) -> list[Series]:
+    """Figure 2 data: single-segment latency per backend (us).
+
+    Bandwidth (the (b)/(d) panels) is derived from the same latencies via
+    :meth:`Series.to_bandwidth`.
+    """
+    sizes = list(sizes) or FIG2_SIZES
+    backends = MX_BACKENDS if profile.tech == "mx" else QUADRICS_BACKENDS
+    return _sweep(pingpong_single, backends, profile, sizes, iters=iters)
+
+
+def run_figure3(
+    profile: NicProfile,
+    n_segments: int,
+    sizes: Sequence[int] = (),
+    iters: int = 3,
+) -> list[Series]:
+    """Figure 3 data: multi-segment burst latency per backend (us)."""
+    if not sizes:
+        sizes = FIG3_SIZES_MX if profile.tech == "mx" else FIG3_SIZES_QUADRICS
+    backends = MX_BACKENDS if profile.tech == "mx" else QUADRICS_BACKENDS
+    return _sweep(pingpong_multiseg, backends, profile, list(sizes),
+                  n_segments=n_segments, iters=iters)
+
+
+def run_figure4(
+    profile: NicProfile,
+    sizes: Sequence[int] = (),
+    iters: int = 3,
+) -> list[Series]:
+    """Figure 4 data: indexed-datatype transfer time per backend (us)."""
+    sizes = list(sizes) or FIG4_SIZES
+    backends = MX_BACKENDS if profile.tech == "mx" else QUADRICS_BACKENDS
+    return _sweep(pingpong_datatype, backends, profile, sizes, iters=iters)

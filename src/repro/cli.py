@@ -1,0 +1,148 @@
+"""Command-line interface: regenerate the paper's figures as text tables.
+
+Usage::
+
+    python -m repro figures                 # every figure, full sweeps
+    python -m repro figures --quick         # coarse sweeps (seconds)
+    python -m repro figures --only fig3     # one figure family
+    python -m repro strategies              # list the strategy database
+    python -m repro profiles                # list NIC profiles
+
+The output is the same tables the benchmark harness prints (size rows, one
+column per backend, peak/mean gains), suitable for diffing against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import (
+    render_gains,
+    render_table,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+)
+from repro.netsim import KB, MB, MX_MYRI10G, PROFILES, QUADRICS_QM500
+
+__all__ = ["main", "build_parser"]
+
+QUICK_FIG2 = [4, 64, 1 * KB, 16 * KB, 256 * KB, 2 * MB]
+QUICK_FIG3_MX = [4, 64, 1 * KB, 16 * KB]
+QUICK_FIG3_Q = [4, 64, 1 * KB, 8 * KB]
+QUICK_FIG4 = [256 * KB, 1 * MB, 2 * MB]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NewMadeleine reproduction: regenerate the paper's "
+                    "evaluation figures on the simulated 2006 testbed.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate figure tables")
+    figures.add_argument("--quick", action="store_true",
+                         help="coarse size sweeps (runs in seconds)")
+    figures.add_argument("--only", choices=("fig2", "fig3", "fig4"),
+                         help="restrict to one figure family")
+    figures.add_argument("--iters", type=int, default=3,
+                         help="measured ping-pong iterations per point")
+    figures.add_argument("--plot", action="store_true",
+                         help="also draw each figure as an ASCII log-log plot")
+
+    sub.add_parser("strategies", help="list the strategy database")
+    sub.add_parser("profiles", help="list calibrated NIC profiles")
+    sub.add_parser("validate",
+                   help="measure every paper claim and print PASS/FAIL")
+    return parser
+
+
+def _print(out, text: str) -> None:
+    print(text, file=out)
+    print(file=out)
+
+
+def _figures(args, out) -> None:
+    from repro.bench.plot import render_plot
+
+    iters = args.iters
+    if iters < 1:
+        raise SystemExit("--iters must be >= 1")
+
+    def maybe_plot(title, series):
+        if args.plot:
+            _print(out, render_plot(title, series))
+
+    if args.only in (None, "fig2"):
+        for profile, panels in ((MX_MYRI10G, "a/b"), (QUADRICS_QM500, "c/d")):
+            series = run_figure2(
+                profile, sizes=QUICK_FIG2 if args.quick else (), iters=iters)
+            title = (f"== Figure 2({panels}): ping-pong latency over "
+                     f"{profile.name} ==")
+            _print(out, render_table(title, series))
+            _print(out, render_table(
+                "-- derived bandwidth --",
+                [s.to_bandwidth() for s in series]))
+            maybe_plot(title, series)
+    if args.only in (None, "fig3"):
+        for profile, quick_sizes in ((MX_MYRI10G, QUICK_FIG3_MX),
+                                     (QUADRICS_QM500, QUICK_FIG3_Q)):
+            for nseg in (8, 16):
+                series = run_figure3(
+                    profile, n_segments=nseg,
+                    sizes=quick_sizes if args.quick else (), iters=iters)
+                title = (f"== Figure 3: {nseg}-segment ping-pong over "
+                         f"{profile.name} ==")
+                _print(out, render_table(title, series))
+                _print(out, render_gains(series))
+                maybe_plot(title, series)
+    if args.only in (None, "fig4"):
+        for profile in (MX_MYRI10G, QUADRICS_QM500):
+            series = run_figure4(
+                profile, sizes=QUICK_FIG4 if args.quick else (), iters=iters)
+            title = f"== Figure 4: indexed datatype over {profile.name} =="
+            _print(out, render_table(title, series))
+            _print(out, render_gains(series))
+            maybe_plot(title, series)
+
+
+def _strategies(out) -> None:
+    from repro.core import available_strategies, create
+
+    for name in available_strategies():
+        strategy = create(name)
+        doc = (type(strategy).__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        _print(out, f"{name:<14} {summary}")
+
+
+def _profiles(out) -> None:
+    for name, p in sorted(PROFILES.items()):
+        _print(out, (
+            f"{name:<16} tech={p.tech:<6} latency={p.latency_us:>5.2f}us "
+            f"bw={p.bandwidth_mbps:>7.1f}MB/s rdv@{p.rdv_threshold:>6}B "
+            f"gs={'y' if p.gather_scatter else 'n'} "
+            f"rdma={'y' if p.rdma else 'n'}"
+        ))
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        _figures(args, out)
+    elif args.command == "strategies":
+        _strategies(out)
+    elif args.command == "profiles":
+        _profiles(out)
+    elif args.command == "validate":
+        from repro.bench.claims import evaluate_claims, render_verdicts
+
+        verdicts = evaluate_claims()
+        _print(out, render_verdicts(verdicts))
+        return 0 if all(v.passed for v in verdicts) else 1
+    return 0

@@ -1,0 +1,110 @@
+"""Segment payload representations.
+
+Tests move *real bytes* end to end (so correctness of aggregation,
+reordering, splitting and reassembly is proven on content, not just
+lengths), while benchmarks use :class:`VirtualData` — a sized placeholder —
+to avoid megabyte-scale Python byte shuffling inside tight sweeps.  Both
+implement the same tiny interface, and every code path in the engine works
+with either.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = ["SegmentData", "Bytes", "VirtualData", "as_data"]
+
+
+class SegmentData:
+    """Interface for a contiguous piece of user data."""
+
+    @property
+    def nbytes(self) -> int:
+        raise NotImplementedError
+
+    def tobytes(self) -> bytes:
+        """Materialize the content (tests); virtual data yields zeros."""
+        raise NotImplementedError
+
+    def slice(self, offset: int, length: int) -> "SegmentData":
+        """A view of ``length`` bytes starting at ``offset`` (for splitting)."""
+        raise NotImplementedError
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise ValueError(
+                f"slice [{offset}, {offset + length}) out of range "
+                f"for {self.nbytes}-byte segment"
+            )
+
+
+class Bytes(SegmentData):
+    """Real in-memory data (bytes / bytearray / memoryview)."""
+
+    __slots__ = ("_view",)
+
+    def __init__(self, data: Union[bytes, bytearray, memoryview]) -> None:
+        self._view = memoryview(data)
+
+    @property
+    def nbytes(self) -> int:
+        return self._view.nbytes
+
+    def tobytes(self) -> bytes:
+        return self._view.tobytes()
+
+    def slice(self, offset: int, length: int) -> "Bytes":
+        self._check_range(offset, length)
+        return Bytes(self._view[offset:offset + length])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Bytes {self.nbytes}B>"
+
+
+class VirtualData(SegmentData):
+    """A payload with a size but no materialized content.
+
+    Benchmarks exchange multi-megabyte messages thousands of times; carrying
+    placeholder sizes instead of real buffers keeps the simulator fast
+    without changing any timing (the NIC charges time on sizes, never on
+    content).
+    """
+
+    __slots__ = ("_nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative virtual size {nbytes}")
+        self._nbytes = nbytes
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def tobytes(self) -> bytes:
+        return bytes(self._nbytes)
+
+    def slice(self, offset: int, length: int) -> "VirtualData":
+        self._check_range(offset, length)
+        return VirtualData(length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<VirtualData {self.nbytes}B>"
+
+
+def as_data(obj: Union[SegmentData, bytes, bytearray, memoryview, int]) -> SegmentData:
+    """Coerce user input into a :class:`SegmentData`.
+
+    ``bytes``-likes become :class:`Bytes`; a bare ``int`` is shorthand for
+    ``VirtualData(n)`` (benchmark convenience).
+    """
+    if isinstance(obj, SegmentData):
+        return obj
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return Bytes(obj)
+    if isinstance(obj, int):
+        return VirtualData(obj)
+    raise TypeError(
+        f"cannot use {type(obj).__name__} as segment data; pass bytes-like, "
+        "SegmentData, or an int size"
+    )

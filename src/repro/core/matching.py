@@ -1,0 +1,195 @@
+"""Receive-side demultiplexing: in-order delivery plus request matching.
+
+The engine may *physically* reorder packets — aggregate across flows, send
+out-of-order, split across rails (paper §7) — so the receive side restores
+logical order from the metadata the collect layer attached: sender id, flow
+tag and sequence number (paper §3.3).  Two mechanisms compose:
+
+1. **Sequence parking**: incoming message descriptors for one ``(src,
+   flow)`` stream enter matching strictly in sequence order; early arrivals
+   park until the gap fills.  This is what makes physical reordering safe.
+
+2. **MPI-style matching**: in-order descriptors match against posted
+   receives (first posted match wins, wildcards allowed) or join the
+   unexpected queue until a matching receive is posted.
+
+Descriptors are either eager segments (data is already here) or rendezvous
+announcements (data follows after the grant); what happens on a match is
+the engine's business, injected as the ``on_match`` callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.packet import RdvReqItem, SegItem
+from repro.core.requests import RecvRequest
+from repro.errors import ProtocolError
+from repro.sim import Tracer
+
+__all__ = ["Incoming", "Matcher"]
+
+
+@dataclass
+class Incoming:
+    """One logical incoming message descriptor, pre-matching."""
+
+    src: int
+    flow: int
+    tag: int
+    seq: int
+    nbytes: int
+    item: Union[SegItem, RdvReqItem, None]
+    arrived_at: float = 0.0
+    #: Tombstone of a cancelled send: consumes its sequence slot, matches
+    #: nothing (see :class:`repro.core.packet.CancelItem`).
+    is_skip: bool = False
+
+    @property
+    def is_rdv(self) -> bool:
+        return isinstance(self.item, RdvReqItem)
+
+
+class Matcher:
+    """Orders, matches, and queues incoming message descriptors."""
+
+    def __init__(
+        self,
+        on_match: Callable[[Incoming, RecvRequest], None],
+        tracer: Optional[Tracer] = None,
+        name: str = "matcher",
+    ) -> None:
+        self._on_match = on_match
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.name = name
+        self._expected: dict[tuple[int, int], int] = {}
+        self._parked: dict[tuple[int, int], dict[int, Incoming]] = {}
+        self._posted: list[RecvRequest] = []
+        self._unexpected: list[Incoming] = []
+        self._watchers: list[tuple[int, int, int, object]] = []
+        # Statistics for tests and reports.
+        self.delivered = 0
+        self.parked_total = 0
+        self.unexpected_total = 0
+
+    # -- arrivals ------------------------------------------------------------
+    def deliver(self, inc: Incoming, now: float = 0.0) -> None:
+        """Accept a descriptor from the wire; releases any unblocked parkers."""
+        inc.arrived_at = now
+        key = (inc.src, inc.flow)
+        expected = self._expected.get(key, 0)
+        if inc.seq < expected:
+            raise ProtocolError(
+                f"{self.name}: duplicate or replayed seq {inc.seq} from "
+                f"src={inc.src} flow={inc.flow} (expected {expected})"
+            )
+        if inc.seq > expected:
+            parked = self._parked.setdefault(key, {})
+            if inc.seq in parked:
+                raise ProtocolError(
+                    f"{self.name}: two deliveries for seq {inc.seq} "
+                    f"(src={inc.src} flow={inc.flow})"
+                )
+            parked[inc.seq] = inc
+            self.parked_total += 1
+            self.tracer.emit(now, self.name, "park",
+                             src=inc.src, flow=inc.flow, seq=inc.seq)
+            return
+        self._admit(inc)
+        # Drain consecutively-parked descriptors.
+        parked = self._parked.get(key)
+        while parked:
+            nxt = self._expected[key]
+            follower = parked.pop(nxt, None)
+            if follower is None:
+                break
+            self._admit(follower)
+        if parked is not None and not parked:
+            del self._parked[key]
+
+    def _admit(self, inc: Incoming) -> None:
+        key = (inc.src, inc.flow)
+        self._expected[key] = inc.seq + 1
+        self.delivered += 1
+        if inc.is_skip:
+            self.tracer.emit(inc.arrived_at, self.name, "skip",
+                             src=inc.src, flow=inc.flow, seq=inc.seq)
+            return
+        for idx, req in enumerate(self._posted):
+            if req.flow == inc.flow and req.matches(inc.src, inc.tag):
+                del self._posted[idx]
+                self.tracer.emit(inc.arrived_at, self.name, "match",
+                                 src=inc.src, flow=inc.flow, tag=inc.tag,
+                                 seq=inc.seq)
+                self._on_match(inc, req)
+                return
+        self._unexpected.append(inc)
+        self.unexpected_total += 1
+        self.tracer.emit(inc.arrived_at, self.name, "unexpected",
+                         src=inc.src, flow=inc.flow, tag=inc.tag, seq=inc.seq)
+        self._wake_watchers(inc)
+
+    # -- receive posting ----------------------------------------------------
+    def post(self, req: RecvRequest) -> None:
+        """Post a receive; matches the oldest waiting descriptor if any."""
+        for idx, inc in enumerate(self._unexpected):
+            if req.flow == inc.flow and req.matches(inc.src, inc.tag):
+                del self._unexpected[idx]
+                self.tracer.emit(req.posted_at, self.name, "match_unexpected",
+                                 src=inc.src, flow=inc.flow, tag=inc.tag)
+                self._on_match(inc, req)
+                return
+        self._posted.append(req)
+
+    # -- probing (MPI_Probe / MPI_Iprobe support) ----------------------------
+    @staticmethod
+    def _probe_matches(inc: Incoming, src: int, flow: int, tag: int) -> bool:
+        return (inc.flow == flow and src in (-1, inc.src)
+                and tag in (-1, inc.tag))
+
+    def peek(self, src: int, flow: int, tag: int) -> Optional[Incoming]:
+        """Oldest unexpected descriptor matching (src, flow, tag), if any.
+
+        The descriptor stays queued — probing never consumes a message.
+        """
+        for inc in self._unexpected:
+            if self._probe_matches(inc, src, flow, tag):
+                return inc
+        return None
+
+    def watch(self, src: int, flow: int, tag: int, event) -> None:
+        """Trigger ``event`` (with the descriptor) when a match is probeable.
+
+        Fires immediately if a matching descriptor is already queued.
+        """
+        existing = self.peek(src, flow, tag)
+        if existing is not None:
+            event.succeed(existing)
+            return
+        self._watchers.append((src, flow, tag, event))
+
+    def _wake_watchers(self, inc: Incoming) -> None:
+        if not self._watchers:
+            return
+        kept = []
+        for src, flow, tag, event in self._watchers:
+            if self._probe_matches(inc, src, flow, tag):
+                # Probing is non-consuming: every matching prober sees it.
+                event.succeed(inc)
+            else:
+                kept.append((src, flow, tag, event))
+        self._watchers = kept
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def n_posted(self) -> int:
+        return len(self._posted)
+
+    @property
+    def n_unexpected(self) -> int:
+        return len(self._unexpected)
+
+    @property
+    def n_parked(self) -> int:
+        return sum(len(p) for p in self._parked.values())

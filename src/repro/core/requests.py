@@ -1,0 +1,104 @@
+"""Send and receive request handles.
+
+These are the engine-native equivalents of MPI nonblocking requests: the
+application keeps the handle, the engine completes it.  MAD-MPI's
+``MPI_Isend``/``MPI_Irecv``/``MPI_Wait``/``MPI_Test`` map one-to-one onto
+these (paper §3.4: "these four operations being directly mapped to the
+equivalent operations of NewMadeleine").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.data import SegmentData
+from repro.core.packet import PacketWrap
+from repro.errors import MpiError
+from repro.sim import Event
+
+__all__ = ["ANY", "SendRequest", "RecvRequest"]
+
+#: Wildcard for source or tag matching (MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY = -1
+
+
+class SendRequest:
+    """Handle on an in-progress send."""
+
+    __slots__ = ("wrap", "done")
+
+    def __init__(self, wrap: PacketWrap, done: Event) -> None:
+        self.wrap = wrap
+        self.done = done
+
+    @property
+    def complete(self) -> bool:
+        """True once the data has left this node (nonblocking test)."""
+        return self.done.triggered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.complete else "pending"
+        return f"<SendRequest {self.wrap!r} {state}>"
+
+
+class RecvRequest:
+    """Handle on a posted receive.
+
+    ``src``/``tag`` may be :data:`ANY`.  ``capacity`` bounds the acceptable
+    message length (``None`` = unbounded); a longer incoming message fails
+    the request with a truncation error, like MPI_ERR_TRUNCATE.
+
+    After completion, ``data``, ``actual_src``, ``actual_tag`` and
+    ``actual_len`` describe the received message (the MPI_Status analogue).
+    """
+
+    __slots__ = (
+        "src", "flow", "tag", "capacity", "done",
+        "data", "actual_src", "actual_tag", "actual_len", "posted_at",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        flow: int,
+        tag: int,
+        capacity: Optional[int],
+        done: Event,
+        posted_at: float = 0.0,
+    ) -> None:
+        if capacity is not None and capacity < 0:
+            raise MpiError(f"negative receive capacity {capacity}")
+        self.src = src
+        self.flow = flow
+        self.tag = tag
+        self.capacity = capacity
+        self.done = done
+        self.posted_at = posted_at
+        self.data: Optional[SegmentData] = None
+        self.actual_src: Optional[int] = None
+        self.actual_tag: Optional[int] = None
+        self.actual_len: Optional[int] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once matched data has fully landed (nonblocking test)."""
+        return self.done.triggered
+
+    def matches(self, src: int, tag: int) -> bool:
+        """Does an incoming (src, tag) satisfy this posted receive?"""
+        return (self.src in (ANY, src)) and (self.tag in (ANY, tag))
+
+    def finish(self, data: SegmentData, src: int, tag: int) -> None:
+        """Record the message and trigger completion (engine-internal)."""
+        self.data = data
+        self.actual_src = src
+        self.actual_tag = tag
+        self.actual_len = data.nbytes
+        self.done.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.complete else "pending"
+        return (
+            f"<RecvRequest src={self.src} flow={self.flow} tag={self.tag} "
+            f"{state}>"
+        )

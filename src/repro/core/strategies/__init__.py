@@ -1,0 +1,20 @@
+"""The strategy database shipped with the engine.
+
+Importing this package registers the built-in strategies; user code can add
+its own with :func:`repro.core.strategy.register` (the paper's "dynamically
+extended" database of optimizing strategies).
+"""
+
+from repro.core.strategies.adaptive import AdaptiveStrategy
+from repro.core.strategies.aggregation import AggregationStrategy
+from repro.core.strategies.bandwidth import BandwidthStrategy
+from repro.core.strategies.fifo import FifoStrategy
+from repro.core.strategies.multirail import MultirailStrategy
+
+__all__ = [
+    "AdaptiveStrategy",
+    "AggregationStrategy",
+    "BandwidthStrategy",
+    "FifoStrategy",
+    "MultirailStrategy",
+]

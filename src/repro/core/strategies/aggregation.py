@@ -1,0 +1,107 @@
+"""Aggregation strategy — the paper's headline optimization.
+
+Paper §4: "an aggregation [strategy] which accumulates communication
+requests as long as the cumulated length does not require to switch to the
+rendez-vous protocol", and §5.2: the "aggressive optimizer ... is able to
+coalesce packets even if they belong to different logical communication
+flows (i.e. MPI communicators)".
+
+This strategy synthesizes one physical packet per idle-NIC pull by walking
+the eligible window in submission order (optionally priority-reordered) and
+taking every wrap towards the chosen destination that keeps the aggregate
+under the NIC's rendezvous threshold.  Oversized wraps become rendezvous
+announcements that ride in the same physical packet — which is what makes
+the §5.3 derived-datatype schedule work (small blocks coalesced "with the
+rendez-vous requests of the large blocks").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.packet import SegItem, WireItem
+from repro.core.strategy import SchedulingContext, SendPlan, Strategy, register
+from repro.core.tactics import (
+    first_sendable_dest,
+    plan_aggregate,
+    reorder_by_priority,
+)
+
+__all__ = ["AggregationStrategy"]
+
+
+@register
+class AggregationStrategy(Strategy):
+    """Coalesce small requests; announce large ones; one packet per pull.
+
+    Parameters
+    ----------
+    by_priority:
+        Reorder eligible wraps by the application's priority hints before
+        aggregating (respecting ``allow_reorder`` pins).  This is the
+        "favor an earlier delivery of high priority fragments" behaviour of
+        paper §2 (the RPC service-id example).
+    scan_past_blockage:
+        Keep scanning for aggregable wraps after one did not fit (paper §7:
+        reorder "to maximize the number of aggregation operations").
+    max_items:
+        Optional cap on records per physical packet (models a bounded
+        gather/scatter descriptor list on real NICs).
+    """
+
+    name = "aggregation"
+
+    def __init__(
+        self,
+        by_priority: bool = False,
+        scan_past_blockage: bool = True,
+        max_items: Optional[int] = None,
+    ) -> None:
+        if max_items is not None and max_items < 1:
+            raise ValueError(f"max_items must be >= 1, got {max_items}")
+        self.by_priority = by_priority
+        self.scan_past_blockage = scan_past_blockage
+        self.max_items = max_items
+
+    #: bulk rendezvous chunks stay on the rail that announced them
+    multirail_bulk = False
+
+    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+        candidates = list(ctx.window.eligible(ctx.rail))
+        if not candidates:
+            return None
+        if self.by_priority:
+            candidates = reorder_by_priority(candidates)
+        dest = first_sendable_dest(candidates, ctx.sent_wraps)
+        if dest is None:
+            return None
+        choice = plan_aggregate(
+            candidates,
+            dest=dest,
+            rdv_threshold=ctx.rdv_threshold,
+            sent=ctx.sent_wraps,
+            max_items=self.max_items,
+            scan_past_blockage=self.scan_past_blockage,
+        )
+        if choice.empty:
+            return None
+        items: list[WireItem] = []
+        for wrap in choice.eager:
+            if wrap.control_item is not None:
+                items.append(wrap.control_item)
+            else:
+                items.append(SegItem(src=ctx.src_node, flow=wrap.flow,
+                                     tag=wrap.tag, seq=wrap.seq,
+                                     data=wrap.data))
+        return SendPlan(dest=dest, items=items, taken=choice.eager,
+                        announced=choice.announce)
+
+    def describe(self) -> str:
+        opts = []
+        if self.by_priority:
+            opts.append("by_priority")
+        if not self.scan_past_blockage:
+            opts.append("no_scan")
+        if self.max_items is not None:
+            opts.append(f"max_items={self.max_items}")
+        return f"{self.name}({', '.join(opts)})" if opts else self.name

@@ -1,0 +1,87 @@
+"""Bandwidth-favoring strategy: hold the window to grow aggregates.
+
+Paper §2: "The preferred optimization strategy may differ from favoring the
+latency, and instead favoring the bandwidth may be a better bet for
+applications using a remote storage system."
+
+This strategy deliberately leaves an idle NIC unfed while the pending
+aggregate towards the head destination is still small *and* young: more
+requests get to coalesce into each physical packet (fewer per-packet costs,
+better achieved bandwidth) at the price of bounded extra latency.  Dispatch
+happens as soon as either trigger fires:
+
+* **fill**: the aggregate reaches ``min_fill_bytes`` (default: half the
+  rendezvous threshold), or
+* **age**: the oldest pending wrap has waited ``hold_us`` microseconds.
+
+Rendezvous announcements and control records never wait — holding a grant
+would stall the peer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.strategies.aggregation import AggregationStrategy
+from repro.core.strategy import SchedulingContext, SendPlan, register
+from repro.core.tactics import deps_satisfied, first_sendable_dest
+
+__all__ = ["BandwidthStrategy"]
+
+
+@register
+class BandwidthStrategy(AggregationStrategy):
+    """Aggregation with a dispatch deadline instead of instant dispatch."""
+
+    name = "bandwidth"
+
+    def __init__(self, hold_us: float = 5.0,
+                 min_fill_bytes: Optional[int] = None, **agg_params) -> None:
+        super().__init__(**agg_params)
+        if hold_us < 0:
+            raise ValueError(f"negative hold time {hold_us}")
+        if min_fill_bytes is not None and min_fill_bytes < 1:
+            raise ValueError(f"bad fill threshold {min_fill_bytes}")
+        self.hold_us = hold_us
+        self.min_fill_bytes = min_fill_bytes
+        # Observability for tests/benches.
+        self.holds = 0
+
+    def _fill_target(self, ctx: SchedulingContext) -> int:
+        if self.min_fill_bytes is not None:
+            return self.min_fill_bytes
+        return ctx.rdv_threshold // 2
+
+    def _should_hold(self, ctx: SchedulingContext) -> bool:
+        candidates = [w for w in ctx.window.eligible(ctx.rail)
+                      if deps_satisfied(w, ctx.sent_wraps)]
+        if not candidates:
+            return False
+        dest = first_sendable_dest(candidates, ctx.sent_wraps)
+        mine = [w for w in candidates if w.dest == dest]
+        if any(w.is_control or w.length > ctx.rdv_threshold for w in mine):
+            return False  # grants / announcements must not wait
+        pending = sum(w.length for w in mine)
+        if pending >= self._fill_target(ctx):
+            return False
+        oldest = min(w.submitted_at for w in mine)
+        return (ctx.now - oldest) < self.hold_us
+
+    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+        if self._should_hold(ctx):
+            self.holds += 1
+            return None
+        return super().select(ctx)
+
+    def hold_until(self, ctx: SchedulingContext) -> Optional[float]:
+        candidates = [w for w in ctx.window.eligible(ctx.rail)
+                      if deps_satisfied(w, ctx.sent_wraps)]
+        if not candidates:
+            return None
+        oldest = min(w.submitted_at for w in candidates)
+        return oldest + self.hold_us
+
+    def describe(self) -> str:
+        fill = self.min_fill_bytes if self.min_fill_bytes is not None \
+            else "rdv/2"
+        return f"{self.name}(hold={self.hold_us}us, fill={fill})"

@@ -1,0 +1,39 @@
+"""FIFO strategy: direct mapping, no optimization.
+
+One submitted request becomes one physical packet, in submission order —
+the behaviour of a classical synchronous communication library (and of the
+baselines for non-datatype traffic).  Shipped mainly as the ablation
+reference: running the engine with ``fifo`` isolates exactly what the
+optimization window buys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.packet import SegItem
+from repro.core.strategy import SchedulingContext, SendPlan, Strategy, register
+from repro.core.tactics import deps_satisfied
+
+__all__ = ["FifoStrategy"]
+
+
+@register
+class FifoStrategy(Strategy):
+    """Send the oldest sendable wrap, alone; oversized wraps go rendezvous."""
+
+    name = "fifo"
+
+    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+        for wrap in ctx.window.eligible(ctx.rail):
+            if not deps_satisfied(wrap, ctx.sent_wraps):
+                continue
+            if wrap.control_item is not None:
+                return SendPlan(dest=wrap.dest, items=[wrap.control_item],
+                                taken=[wrap])
+            if wrap.length > ctx.rdv_threshold:
+                return SendPlan(dest=wrap.dest, items=[], announced=[wrap])
+            item = SegItem(src=ctx.src_node, flow=wrap.flow, tag=wrap.tag,
+                           seq=wrap.seq, data=wrap.data)
+            return SendPlan(dest=wrap.dest, items=[item], taken=[wrap])
+        return None

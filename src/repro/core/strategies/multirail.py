@@ -1,0 +1,34 @@
+"""Multirail strategy — the paper's second shipped strategy.
+
+Paper §4: "a multi-rails one which balances the communication flow over the
+set of available NICS, possibly by splitting messages in a heterogeneous
+manner if necessary", and §7: the architecture "is particularly well suited
+to the implementation of greedy load-balancing strategies over multiple
+network interface cards".
+
+The load balancing itself is *greedy and emergent*: every idle NIC pulls
+work from the common list, so a faster NIC simply comes back for more
+sooner.  What this class adds over plain aggregation is bulk splitting —
+``multirail_bulk = True`` lets a granted rendezvous transfer stream its
+chunks over *any* idle rail, so a 2 MB message leaves over MX and Quadrics
+simultaneously and the receiver reassembles by (handle, offset).  Chunk
+counts per rail end up proportional to rail bandwidth without any explicit
+ratio computation — the heterogeneous split of paper §4.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies.aggregation import AggregationStrategy
+from repro.core.strategy import register
+
+__all__ = ["MultirailStrategy"]
+
+
+@register
+class MultirailStrategy(AggregationStrategy):
+    """Aggregation plus greedy bulk splitting across all rails."""
+
+    name = "multirail"
+
+    #: bulk rendezvous chunks may be pulled by any idle rail
+    multirail_bulk = True

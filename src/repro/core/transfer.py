@@ -1,0 +1,308 @@
+"""The transfer layer.
+
+Paper §3.3: "The transfer layer mimics a process scheduler, which when
+called by a processor, will select the new ready process to be run.
+Indeed, the transfer layer controls the activities of the NICs, and
+requests from the upper layer a new optimized packet to be sent, as soon as
+a card becomes idle."
+
+Per NIC, the layer registers an idle hook and a receive handler.  On idle
+(or on a kick from the collect layer while the card was already idle) it
+*pulls*:
+
+1. ask the active strategy for a plan over the optimization window;
+2. otherwise stream the next granted rendezvous bulk chunk;
+3. otherwise leave the card idle — the next submit will kick it.
+
+The pull path charges the engine's critical-path costs (paper §5.1: the
+scheduler's "extra operations on the critical path to inspect the 'ready
+list'"): a fixed per-pull cost plus a per-MTU data-path cost, both folded
+into the frame's ``cpu_gap``.  When the NIC lacks gather/scatter, building
+an aggregate additionally pays a host copy per extra segment (paper §2's
+"accumulate packets in order to make use of some gather/scatter
+capabilities" — without the capability the accumulation is paid in copies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.matching import Incoming
+from repro.core.packet import (
+    CancelItem,
+    PhysPacket,
+    RdvAckItem,
+    RdvDataItem,
+    RdvReqItem,
+    SegItem,
+)
+from repro.core.strategy import SchedulingContext, SendPlan
+from repro.errors import ProtocolError
+from repro.netsim.frames import Frame, FrameKind
+from repro.netsim.nic import Nic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import NmadEngine
+
+__all__ = ["TransferLayer"]
+
+
+class TransferLayer:
+    """Drives every NIC of one node on behalf of the engine."""
+
+    def __init__(self, engine: "NmadEngine") -> None:
+        self.engine = engine
+        self.nics = list(engine.node.nics)
+        self.sent_wraps: set[int] = set()
+        self._pull_pending = [False] * len(self.nics)
+        # Paper §3.2's second/third dispatch policies: at most one packet is
+        # pre-synthesized while every NIC is busy, waiting to be re-fed.
+        self._anticipated: Optional[tuple[SendPlan, list]] = None
+        for nic in self.nics:
+            nic.add_idle_callback(self._on_idle)
+            nic.set_receive_handler(
+                lambda frame, rail=nic.rail: self._on_frame(rail, frame)
+            )
+
+    @property
+    def has_anticipated(self) -> bool:
+        """True when a prepared packet is waiting for a NIC (quiesce check)."""
+        return self._anticipated is not None
+
+    # -- refill machinery -----------------------------------------------------
+    def kick(self) -> None:
+        """New work exists: schedule a pull on every currently idle NIC."""
+        any_idle = False
+        for nic in self.nics:
+            if nic.idle and not self._pull_pending[nic.rail]:
+                self._pull_pending[nic.rail] = True
+                self.engine.sim.schedule(0.0, lambda r=nic.rail: self._pull(r))
+                any_idle = True
+        if not any_idle:
+            self._maybe_prepare()
+
+    def _on_idle(self, nic: Nic) -> None:
+        self._pull(nic.rail)
+
+    def _anticipation_rail(self) -> int:
+        """Rail whose threshold a prepared aggregate must respect.
+
+        A prepared packet may be handed to *any* NIC later, so it is sized
+        against the most restrictive (smallest) rendezvous threshold.
+        """
+        return min(range(len(self.nics)),
+                   key=lambda r: self.nics[r].profile.rdv_threshold)
+
+    def _context(self, rail: int) -> SchedulingContext:
+        params = self.engine.params
+        return SchedulingContext(
+            window=self.engine.window,
+            rail=rail,
+            nic_profile=self.nics[rail].profile,
+            hdr=params.hdr,
+            now=self.engine.sim.now,
+            src_node=self.engine.node_id,
+            sent_wraps=self.sent_wraps,
+        )
+
+    def _maybe_prepare(self) -> None:
+        """Pre-synthesize one ready-to-send packet (anticipation policies)."""
+        params = self.engine.params
+        if params.dispatch_policy == "on_idle":
+            return
+        if self._anticipated is not None:
+            return
+        if any(nic.idle for nic in self.nics):
+            return  # an idle NIC will pull directly
+        if (params.dispatch_policy == "backlog"
+                and len(self.engine.window) < params.backlog_flush_threshold):
+            return
+        rail = self._anticipation_rail()
+        ctx = self._context(rail)
+        plan = self.engine.strategy.select(ctx)
+        if plan is None:
+            return
+        plan.validate(ctx)
+        items = self._materialize(plan, rail)
+        self._anticipated = (plan, items)
+        self.engine.tracer.emit(self.engine.sim.now,
+                                f"node{self.engine.node_id}.transfer",
+                                "anticipate", dest=plan.dest,
+                                items=len(items))
+
+    def _pull(self, rail: int) -> None:
+        self._pull_pending[rail] = False
+        nic = self.nics[rail]
+        if not nic.idle:
+            return
+        params = self.engine.params
+        if self._anticipated is not None:
+            # "Immediately re-feed it once it becomes idle" (paper §3.2).
+            plan, items = self._anticipated
+            self._anticipated = None
+            for item in items:
+                if isinstance(item, RdvReqItem):
+                    self.engine.rendezvous.fix_origin(item.handle, rail)
+            self.engine.stats.anticipated_hits += 1
+            self._post_packet(nic, plan, items,
+                              pull_cost=params.anticipated_pull_cost_us)
+            return
+        ctx = self._context(rail)
+        plan = self.engine.strategy.select(ctx)
+        if plan is not None:
+            plan.validate(ctx)
+            items = self._materialize(plan, rail)
+            self._post_packet(nic, plan, items, pull_cost=params.pull_cost_us)
+            return
+        multirail = getattr(self.engine.strategy, "multirail_bulk", False)
+        bulk = self.engine.rendezvous.next_chunk(rail, multirail)
+        if bulk is not None:
+            state, item = bulk
+            self._send_bulk(nic, state, item)
+            return
+        # Nothing elected: a bandwidth-favoring strategy may be holding the
+        # window on purpose — honour its deadline with a future re-pull.
+        deadline = self.engine.strategy.hold_until(ctx)
+        if deadline is not None and not self._pull_pending[rail]:
+            self._pull_pending[rail] = True
+            delay = max(0.0, deadline - self.engine.sim.now)
+            self.engine.sim.schedule(delay, lambda r=rail: self._pull(r))
+
+    # -- sending --------------------------------------------------------------
+    def _materialize(self, plan: SendPlan, rail: int) -> list:
+        """Commit a plan: remove wraps from the window, build wire items."""
+        engine = self.engine
+        for wrap in plan.taken + plan.announced:
+            engine.window.take(wrap)
+        items = list(plan.items)
+        for wrap in plan.announced:
+            items.append(engine.rendezvous.announce(wrap, rail=rail))
+        return items
+
+    def _post_packet(self, nic: Nic, plan: SendPlan, items: list,
+                     pull_cost: float) -> None:
+        engine = self.engine
+        params = engine.params
+        pkt = PhysPacket(items)
+        wire = pkt.wire_size(params.hdr)
+        payload = pkt.payload_size()
+        gather_cost = 0.0
+        n_segments = sum(1 for i in items if isinstance(i, SegItem))
+        if n_segments > 1 and not nic.profile.gather_scatter:
+            # No hardware gather: the host stages the aggregate with one
+            # copy per segment.
+            gather_cost = engine.node.memory.pack_time(
+                i.data.nbytes for i in items if isinstance(i, SegItem)
+            )
+        cpu_gap = (
+            pull_cost
+            + params.per_mtu_cost(nic.profile)
+              * math.ceil(max(wire, 1) / nic.profile.mtu_bytes)
+            + gather_cost
+        )
+        frame = Frame(
+            src_node=engine.node_id, dst_node=plan.dest, kind=FrameKind.DATA,
+            wire_size=wire, payload=pkt, payload_size=payload,
+        )
+        engine.stats.phys_packets += 1
+        engine.stats.items_sent += len(items)
+        engine.stats.eager_bytes += payload
+        engine.stats.wire_bytes += wire
+        if n_segments > 1:
+            engine.stats.aggregated_packets += 1
+            engine.stats.aggregated_segments += n_segments
+        engine.tracer.emit(engine.sim.now, f"node{engine.node_id}.transfer",
+                           "send_plan", rail=nic.rail, dest=plan.dest,
+                           items=len(items), wire=wire)
+        done = nic.post_send(frame, cpu_gap_us=cpu_gap)
+        done.add_callback(lambda _evt: self._plan_sent(plan))
+        # With an anticipation policy active, the NIC just went busy: start
+        # preparing the next packet off the critical path right away.
+        self._maybe_prepare()
+
+    def _plan_sent(self, plan: SendPlan) -> None:
+        for wrap in plan.taken:
+            self.sent_wraps.add(wrap.wrap_id)
+            if wrap.completion is not None:
+                wrap.completion.succeed(wrap)
+        for wrap in plan.announced:
+            # The announcement left the node; ordering dependencies on this
+            # wrap are satisfied (delivery order is restored by the matcher).
+            self.sent_wraps.add(wrap.wrap_id)
+
+    def _send_bulk(self, nic: Nic, state, item: RdvDataItem) -> None:
+        engine = self.engine
+        params = engine.params
+        pkt = PhysPacket([item])
+        wire = pkt.wire_size(params.hdr)
+        cpu_gap = (
+            params.pull_cost_us
+            + params.per_mtu_cost(nic.profile)
+              * math.ceil(wire / nic.profile.mtu_bytes)
+        )
+        frame = Frame(
+            src_node=engine.node_id, dst_node=state.wrap.dest,
+            kind=FrameKind.RDV_DATA, wire_size=wire, payload=pkt,
+            payload_size=item.data.nbytes,
+        )
+        engine.stats.phys_packets += 1
+        engine.stats.items_sent += 1
+        engine.stats.rdv_bytes += item.data.nbytes
+        engine.stats.wire_bytes += wire
+        engine.tracer.emit(engine.sim.now, f"node{engine.node_id}.transfer",
+                           "send_bulk", rail=nic.rail, dest=state.wrap.dest,
+                           offset=item.offset, nbytes=item.data.nbytes)
+        done = nic.post_send(frame, cpu_gap_us=cpu_gap)
+        done.add_callback(
+            lambda _evt: engine.rendezvous.chunk_sent(state, item)
+        )
+
+    # -- receiving ----------------------------------------------------------------
+    def _on_frame(self, rail: int, frame: Frame) -> None:
+        pkt = frame.payload
+        if not isinstance(pkt, PhysPacket):
+            raise ProtocolError(
+                f"node{self.engine.node_id}: non-engine frame {frame!r} on "
+                "an engine-managed NIC"
+            )
+        # Decoding the multiplexing header and walking the item list costs
+        # host CPU — part of the paper's 5.1 overhead.  Items dispatch in
+        # order after a per-packet cost plus a per-item increment.
+        params = self.engine.params
+        delay = params.demux_packet_cost_us
+        for item in pkt.items:
+            delay += params.demux_item_cost_us
+            self.engine.sim.schedule(
+                delay, lambda item=item: self._dispatch_item(item)
+            )
+
+    def _dispatch_item(self, item) -> None:
+        now = self.engine.sim.now
+        if isinstance(item, SegItem):
+            self.engine.matcher.deliver(
+                Incoming(src=item.src, flow=item.flow, tag=item.tag,
+                         seq=item.seq, nbytes=item.data.nbytes, item=item),
+                now=now,
+            )
+        elif isinstance(item, RdvReqItem):
+            self.engine.matcher.deliver(
+                Incoming(src=item.src, flow=item.flow, tag=item.tag,
+                         seq=item.seq, nbytes=item.nbytes, item=item),
+                now=now,
+            )
+        elif isinstance(item, CancelItem):
+            self.engine.matcher.deliver(
+                Incoming(src=item.src, flow=item.flow, tag=item.tag,
+                         seq=item.seq, nbytes=0, item=None, is_skip=True),
+                now=now,
+            )
+        elif isinstance(item, RdvAckItem):
+            self.engine.rendezvous.on_ack(item)
+        elif isinstance(item, RdvDataItem):
+            self.engine.rendezvous.on_data(item)
+        else:
+            raise ProtocolError(
+                f"node{self.engine.node_id}: unknown wire item "
+                f"{type(item).__name__}"
+            )

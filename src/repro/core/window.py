@@ -1,0 +1,118 @@
+"""The optimization window.
+
+Paper §3.1: "While the NICs are busy, NewMadeleine keeps accumulating
+packets in its optimization window.  As soon as a NIC becomes idle, the
+optimization window is analyzed so as to create a new ready-to-send packet."
+
+The window holds submitted :class:`~repro.core.packet.PacketWrap` objects on
+two kinds of lists (paper §3.3): a **common list** whose wraps may leave on
+any rail ("for automatized load-balancing among all the NICs, possibly from
+heterogeneous technologies"), and per-rail **dedicated lists** for wraps the
+application pinned to a specific network.
+
+It also holds the queue of *granted* rendezvous transfers whose bulk chunks
+are ready to be streamed (those need no optimization decision — any idle
+capable NIC pulls the next chunk).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.core.packet import PacketWrap
+from repro.errors import StrategyError
+
+__all__ = ["OptimizationWindow"]
+
+
+class OptimizationWindow:
+    """Accumulates wraps between submission and scheduling."""
+
+    def __init__(self, n_rails: int) -> None:
+        if n_rails < 1:
+            raise ValueError("window needs at least one rail")
+        self.n_rails = n_rails
+        self._common: deque[PacketWrap] = deque()
+        self._dedicated: list[deque[PacketWrap]] = [deque() for _ in range(n_rails)]
+        # Peak-occupancy statistics for the ablation benches.
+        self.peak_wraps = 0
+        self.total_submitted = 0
+
+    # -- submission -----------------------------------------------------------
+    def submit(self, wrap: PacketWrap) -> None:
+        """Insert a wrap on its list (dedicated if ``wrap.rail`` is pinned)."""
+        if wrap.rail is not None:
+            if not 0 <= wrap.rail < self.n_rails:
+                raise StrategyError(
+                    f"wrap pinned to rail {wrap.rail}, window has "
+                    f"{self.n_rails} rails"
+                )
+            self._dedicated[wrap.rail].append(wrap)
+        else:
+            self._common.append(wrap)
+        self.total_submitted += 1
+        occupancy = len(self)
+        if occupancy > self.peak_wraps:
+            self.peak_wraps = occupancy
+
+    # -- inspection (strategy input, paper §3.2) -------------------------------
+    def eligible(self, rail: int) -> Iterator[PacketWrap]:
+        """Wraps a NIC on ``rail`` may send, in submission order.
+
+        Dedicated wraps for the rail come first (they can go nowhere else),
+        then the common list.
+        """
+        if not 0 <= rail < self.n_rails:
+            raise StrategyError(f"no rail {rail} in window")
+        yield from self._dedicated[rail]
+        yield from self._common
+
+    def __len__(self) -> int:
+        return len(self._common) + sum(len(d) for d in self._dedicated)
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    def pending_bytes(self, rail: Optional[int] = None) -> int:
+        """Total payload bytes waiting (for one rail's view, or globally)."""
+        if rail is None:
+            wraps: Iterator[PacketWrap] = iter(self._common)
+            total = sum(w.length for w in wraps)
+            total += sum(w.length for d in self._dedicated for w in d)
+            return total
+        return sum(w.length for w in self.eligible(rail))
+
+    def backlog(self, dest: Optional[int] = None) -> int:
+        """Number of waiting wraps (optionally only towards ``dest``)."""
+        if dest is None:
+            return len(self)
+        return sum(1 for w in self._all() if w.dest == dest)
+
+    def _all(self) -> Iterator[PacketWrap]:
+        yield from self._common
+        for d in self._dedicated:
+            yield from d
+
+    # -- removal (strategy commit) ----------------------------------------------
+    def take(self, wrap: PacketWrap) -> None:
+        """Remove a wrap the strategy committed to a physical packet.
+
+        Raises :class:`StrategyError` if the wrap is not in the window —
+        strategies may only send what actually exists.
+        """
+        target = self._dedicated[wrap.rail] if wrap.rail is not None else self._common
+        try:
+            target.remove(wrap)
+        except ValueError:
+            raise StrategyError(
+                f"strategy tried to take {wrap!r} which is not in the window"
+            ) from None
+
+    def drain_matching(self, pred: Callable[[PacketWrap], bool]) -> list[PacketWrap]:
+        """Remove and return every wrap satisfying ``pred`` (error paths)."""
+        taken = [w for w in self._all() if pred(w)]
+        for w in taken:
+            self.take(w)
+        return taken

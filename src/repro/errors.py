@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Misuse or internal inconsistency of the discrete-event kernel."""
+
+
+class NetworkError(ReproError):
+    """Invalid network configuration or transfer-layer misuse."""
+
+
+class ProtocolError(ReproError):
+    """A communication protocol invariant was violated.
+
+    Raised, for example, when a rendezvous acknowledgement arrives for an
+    unknown handle or a frame is delivered to a node that never posted a
+    matching structure.  In a correct run these indicate bugs, so they are
+    never silently ignored.
+    """
+
+
+class MatchError(ReproError):
+    """Receive-side matching failed in a way the application can observe."""
+
+
+class StrategyError(ReproError):
+    """A scheduling strategy broke one of its contracts.
+
+    Strategies must only emit packets that (a) exist in the optimization
+    window, (b) respect the rendezvous threshold for eager aggregates, and
+    (c) preserve per-flow submission order unless the flow allows
+    reordering.  The engine validates these contracts and raises this error
+    on violation rather than corrupting the schedule.
+    """
+
+
+class DatatypeError(ReproError):
+    """Invalid derived-datatype construction or pack/unpack misuse."""
+
+
+class MpiError(ReproError):
+    """MPI-level misuse (bad rank, truncation, invalid request state)."""

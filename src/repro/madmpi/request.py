@@ -1,0 +1,80 @@
+"""MPI request handles (backend-neutral).
+
+Both MAD-MPI and the baseline models hand these to applications, so the
+ping-pong harness can drive any backend through one interface.  A request
+wraps a kernel event (completion) plus status fields; for derived-datatype
+receives it additionally tracks the per-block sub-requests and can scatter
+the result into a user buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.data import SegmentData, VirtualData
+from repro.errors import MpiError
+from repro.madmpi.datatype import Datatype
+from repro.sim import Event
+
+__all__ = ["MpiRequest"]
+
+
+class MpiRequest:
+    """Handle on a nonblocking MPI operation."""
+
+    def __init__(
+        self,
+        done: Event,
+        kind: str,
+        datatype: Optional[Datatype] = None,
+    ) -> None:
+        self.done = done
+        self.kind = kind  # "send" | "recv"
+        self.datatype = datatype
+        # Status fields, populated at completion (receives only).
+        self.source: Optional[int] = None
+        self.tag: Optional[int] = None
+        self.count: Optional[int] = None
+        self.data: Optional[SegmentData] = None
+        self.block_data: list[SegmentData] = []
+
+    @property
+    def complete(self) -> bool:
+        """Nonblocking completion test (MPI_Test semantics, no progress)."""
+        return self.done.triggered
+
+    def set_status(self, source: int, tag: int, count: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.count = count
+
+    def scatter_into(self, buffer: bytearray | memoryview) -> None:
+        """Scatter a completed typed receive into ``buffer``.
+
+        Blocks land at their datatype displacements; untyped gap bytes are
+        left untouched (MPI semantics).
+        """
+        if not self.complete:
+            raise MpiError("scatter_into() before completion")
+        if self.datatype is None:
+            raise MpiError("scatter_into() on an untyped request")
+        view = memoryview(buffer)
+        flat = self.datatype.flatten()
+        if len(flat) != len(self.block_data):
+            raise MpiError(
+                f"received {len(self.block_data)} blocks for a datatype "
+                f"with {len(flat)} blocks"
+            )
+        for (disp, length), data in zip(flat, self.block_data):
+            if data.nbytes != length:
+                raise MpiError(
+                    f"block at displacement {disp} is {data.nbytes}B, "
+                    f"expected {length}B"
+                )
+            if isinstance(data, VirtualData):
+                continue  # benchmark payloads carry no content
+            view[disp:disp + length] = data.tobytes()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.complete else "pending"
+        return f"<MpiRequest {self.kind} {state}>"

@@ -1,0 +1,56 @@
+"""Network + host hardware substrate (simulated NICs, links, nodes)."""
+
+from repro.netsim.frames import Frame, FrameKind
+from repro.netsim.link import Link
+from repro.netsim.memory import MemoryModel
+from repro.netsim.nic import Nic
+from repro.netsim.node import Node
+from repro.netsim.profiles import (
+    GM_MYRINET,
+    HOST_2006_OPTERON,
+    MX_MYRI10G,
+    PROFILES,
+    QUADRICS_QM500,
+    SISCI_SCI,
+    TCP_GIGE,
+    HostProfile,
+    NicProfile,
+    profile_by_name,
+)
+from repro.netsim.topology import Cluster
+from repro.netsim.units import (
+    GB,
+    KB,
+    MB,
+    format_size,
+    log2_size_sweep,
+    parse_size,
+    wire_time_us,
+)
+
+__all__ = [
+    "Cluster",
+    "Frame",
+    "FrameKind",
+    "GB",
+    "GM_MYRINET",
+    "HOST_2006_OPTERON",
+    "HostProfile",
+    "KB",
+    "Link",
+    "MB",
+    "MemoryModel",
+    "MX_MYRI10G",
+    "Nic",
+    "NicProfile",
+    "Node",
+    "PROFILES",
+    "QUADRICS_QM500",
+    "SISCI_SCI",
+    "TCP_GIGE",
+    "format_size",
+    "log2_size_sweep",
+    "parse_size",
+    "profile_by_name",
+    "wire_time_us",
+]

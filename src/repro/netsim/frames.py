@@ -1,0 +1,70 @@
+"""On-wire frame representation.
+
+A :class:`Frame` is what a NIC transmits: an opaque payload (the engines put
+their own packet structures there), a wire size that includes whatever
+headers the sending protocol added, and addressing.  The NIC layer never
+inspects payloads — exactly like real hardware — which keeps the substrate
+reusable by the NewMadeleine engine and by the baseline MPI models alike.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Frame", "FrameKind"]
+
+
+class FrameKind:
+    """Well-known frame kinds (free-form strings; these are conventions)."""
+
+    DATA = "data"          # eager data, possibly an aggregate
+    RDV_REQ = "rdv_req"    # rendezvous request (control)
+    RDV_ACK = "rdv_ack"    # rendezvous acknowledgement (control)
+    RDV_DATA = "rdv_data"  # rendezvous bulk data (zero-copy / RDMA path)
+    CTRL = "ctrl"          # other control traffic
+
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class Frame:
+    """One physical packet handed to a NIC for transmission.
+
+    ``wire_size`` is the full on-wire byte count (payload + protocol
+    headers) and is what serialization time is charged on.  ``payload_size``
+    is the application-useful byte count, kept separately so tests can check
+    byte conservation and header overhead independently.
+    """
+
+    src_node: int
+    dst_node: int
+    kind: str
+    wire_size: int
+    payload: Any = None
+    payload_size: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.wire_size < 0:
+            raise ValueError(f"negative wire size {self.wire_size}")
+        if self.payload_size < 0:
+            raise ValueError(f"negative payload size {self.payload_size}")
+        if self.payload_size > self.wire_size:
+            raise ValueError(
+                f"payload ({self.payload_size}B) larger than wire size "
+                f"({self.wire_size}B); headers cannot be negative"
+            )
+
+    @property
+    def header_size(self) -> int:
+        """Bytes of protocol header carried by this frame."""
+        return self.wire_size - self.payload_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame#{self.frame_id} {self.kind} {self.src_node}->{self.dst_node} "
+            f"wire={self.wire_size}B payload={self.payload_size}B>"
+        )

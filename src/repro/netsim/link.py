@@ -1,0 +1,89 @@
+"""Point-to-point wire between two NICs.
+
+A :class:`Link` is unidirectional (topology creates one per direction); it
+adds propagation latency and delivers frames to the destination NIC in
+transmission order.  Ordering is guaranteed because the sending NIC
+serializes transmissions and the latency is constant, and the kernel
+resolves equal timestamps in scheduling order.
+
+The link also keeps conservation counters (frames/bytes entered vs
+delivered) that the property tests use to prove no packet is ever lost or
+duplicated by the scheduling engine above.
+
+A ``fault_injector`` hook can drop frames.  The engine — like the real
+NewMadeleine, which targets reliable system-area networks (MX, Elan, SCI)
+— performs **no retransmission**; fault injection exists so tests can prove
+that a loss surfaces as a visible failure (stuck requests, failed
+conservation check, parked sequence gaps) rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import NetworkError
+from repro.netsim.frames import Frame
+from repro.sim import Simulator, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.nic import Nic
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One directed wire: ``src`` NIC to ``dst`` NIC with fixed latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Nic",
+        dst: "Nic",
+        latency_us: float,
+        tracer: Tracer | None = None,
+        fault_injector=None,
+    ) -> None:
+        if latency_us < 0:
+            raise NetworkError(f"negative link latency {latency_us}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency_us = latency_us
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.fault_injector = fault_injector
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.name = f"link.{src.name}->{dst.name}"
+
+    def transmit(self, frame: Frame) -> None:
+        """Accept a fully-serialized frame and deliver it after the latency."""
+        if frame.dst_node != self.dst.node_id:
+            raise NetworkError(
+                f"{self.name}: frame addressed to node {frame.dst_node}, "
+                f"link ends at node {self.dst.node_id}"
+            )
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_size
+        if self.fault_injector is not None and self.fault_injector(frame):
+            self.frames_dropped += 1
+            self.tracer.emit(self.sim.now, self.name, "wire_drop",
+                             frame=frame.frame_id, size=frame.wire_size)
+            return
+        self.tracer.emit(self.sim.now, self.name, "wire_enter",
+                         frame=frame.frame_id, size=frame.wire_size)
+        self.sim.schedule(self.latency_us, lambda: self._deliver(frame))
+
+    def _deliver(self, frame: Frame) -> None:
+        self.frames_delivered += 1
+        self.bytes_delivered += frame.wire_size
+        self.tracer.emit(self.sim.now, self.name, "wire_exit",
+                         frame=frame.frame_id, size=frame.wire_size)
+        self.dst._arrive(frame)
+
+    @property
+    def in_flight(self) -> int:
+        """Frames currently between the two NICs."""
+        return self.frames_sent - self.frames_delivered

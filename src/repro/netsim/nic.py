@@ -1,0 +1,197 @@
+"""NIC device model.
+
+The NIC is the heart of the substrate because the whole NewMadeleine design
+revolves around NIC *activity*: "While the NICs are busy, NewMadeleine
+keeps accumulating packets... As soon as a NIC becomes idle, the
+optimization window is analyzed" (paper §3.1).  The model therefore exposes
+exactly the two things the engine's transfer layer consumes:
+
+* a **busy/idle state machine**: a NIC serializes transmissions; each frame
+  occupies the card for ``send_overhead + cpu_gap + wire_size/bandwidth``
+  microseconds, and
+* an **idle notification hook** fired the instant the card runs out of
+  queued work — this is the "processor asking the process scheduler for the
+  next ready process" analogy of paper §3.3.
+
+Frames are delivered to the peer NIC through a :class:`~repro.netsim.link.Link`
+after the wire latency, where the receive handler runs after
+``recv_overhead``.  Reception is full-duplex (does not block transmission),
+like the real hardware.
+
+The same device serves the baselines: they simply push frames into the tx
+queue (the hardware pipelines them back-to-back with ``pipeline_gap_us``
+between frames — the efficient pipelining paper §5.2 credits MPICH with),
+while the NewMadeleine transfer layer holds packets back and refills the
+card one optimized packet at a time via the idle hook.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import NetworkError
+from repro.netsim.frames import Frame
+from repro.netsim.link import Link
+from repro.netsim.profiles import NicProfile
+from repro.netsim.units import wire_time_us
+from repro.sim import Event, Simulator, Tracer
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One network interface card attached to a node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        rail: int,
+        profile: NicProfile,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.rail = rail
+        self.profile = profile
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.name = f"node{node_id}.nic{rail}.{profile.tech}"
+        self._links: dict[int, Link] = {}
+        self._queue: deque[tuple[Frame, float, Event]] = deque()
+        self._transmitting = False
+        self._rx_handler: Optional[Callable[[Frame], None]] = None
+        self._idle_callbacks: list[Callable[["Nic"], None]] = []
+        # Statistics (exercised by tests and utilization benches).
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.busy_time = 0.0
+        self._tx_started_at = 0.0
+
+    # -- wiring -------------------------------------------------------------
+    def connect(self, dst_node: int, link: Link) -> None:
+        """Attach the outgoing link towards ``dst_node``."""
+        if dst_node in self._links:
+            raise NetworkError(f"{self.name}: already connected to node {dst_node}")
+        if dst_node == self.node_id:
+            raise NetworkError(f"{self.name}: cannot connect a NIC to itself")
+        self._links[dst_node] = link
+
+    def peers(self) -> list[int]:
+        """Node ids reachable through this NIC."""
+        return sorted(self._links)
+
+    def set_receive_handler(self, fn: Callable[[Frame], None]) -> None:
+        """Install the upper layer's frame-arrival handler."""
+        self._rx_handler = fn
+
+    def add_idle_callback(self, fn: Callable[["Nic"], None]) -> None:
+        """Register ``fn(nic)`` to run every time the card goes idle.
+
+        This is the hook the NewMadeleine transfer layer uses to pull the
+        next optimized packet "as soon as a card becomes idle" (paper §3.3).
+        """
+        self._idle_callbacks.append(fn)
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def idle(self) -> bool:
+        """True when the card is neither transmitting nor has queued frames."""
+        return not self._transmitting and not self._queue
+
+    @property
+    def queued(self) -> int:
+        """Frames waiting in the tx queue (not counting the one on the wire)."""
+        return len(self._queue)
+
+    # -- transmission -----------------------------------------------------------
+    def post_send(self, frame: Frame, cpu_gap_us: float = 0.0) -> Event:
+        """Queue ``frame`` for transmission; returns a tx-completion event.
+
+        The returned event succeeds when the frame has fully left the card
+        (serialization done), *not* when it arrives — matching how drivers
+        report send completion.  ``cpu_gap_us`` charges extra host CPU time
+        on the critical path for this frame (the engine uses it for its
+        per-frame scheduler inspection cost, paper §5.1).
+        """
+        if frame.src_node != self.node_id:
+            raise NetworkError(
+                f"{self.name}: frame src node {frame.src_node} != {self.node_id}"
+            )
+        if frame.dst_node not in self._links:
+            raise NetworkError(
+                f"{self.name}: no link to node {frame.dst_node} "
+                f"(connected: {self.peers()})"
+            )
+        if cpu_gap_us < 0:
+            raise NetworkError(f"negative cpu gap {cpu_gap_us}")
+        done = self.sim.event(name=f"txdone:{frame.frame_id}")
+        self._queue.append((frame, cpu_gap_us, done))
+        if not self._transmitting:
+            self._start_next(first_of_burst=True)
+        return done
+
+    def _start_next(self, first_of_burst: bool) -> None:
+        frame, cpu_gap, done = self._queue.popleft()
+        self._transmitting = True
+        self._tx_started_at = self.sim.now
+        tx_time = (
+            self.profile.send_overhead_us
+            + cpu_gap
+            + wire_time_us(frame.wire_size, self.profile.bandwidth_mbps)
+        )
+        if not first_of_burst:
+            # Back-to-back streaming pays the inter-frame pipeline gap
+            # instead of a full fresh injection.
+            tx_time += self.profile.pipeline_gap_us - self.profile.send_overhead_us
+            tx_time = max(tx_time, 0.0)
+        self.tracer.emit(self.sim.now, self.name, "tx_start",
+                         frame=frame.frame_id, fkind=frame.kind,
+                         size=frame.wire_size, tx_time=round(tx_time, 4))
+        self.sim.schedule(tx_time, lambda: self._finish_tx(frame, done))
+
+    def _finish_tx(self, frame: Frame, done: Event) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += frame.wire_size
+        self.busy_time += self.sim.now - self._tx_started_at
+        self._links[frame.dst_node].transmit(frame)
+        self.tracer.emit(self.sim.now, self.name, "tx_done", frame=frame.frame_id)
+        done.succeed(frame)
+        if self._queue:
+            self._start_next(first_of_burst=False)
+        else:
+            self._transmitting = False
+            self._notify_idle()
+
+    def _notify_idle(self) -> None:
+        self.tracer.emit(self.sim.now, self.name, "idle")
+        for fn in self._idle_callbacks:
+            # Deliver via the queue so refill decisions are deterministic
+            # and may themselves post sends re-entrantly.
+            self.sim.schedule(0.0, lambda fn=fn: fn(self) if self.idle else None)
+
+    # -- reception -------------------------------------------------------------
+    def _arrive(self, frame: Frame) -> None:
+        self.tracer.emit(self.sim.now, self.name, "rx_start",
+                         frame=frame.frame_id, fkind=frame.kind,
+                         size=frame.wire_size)
+        self.sim.schedule(
+            self.profile.recv_overhead_us, lambda: self._handle(frame)
+        )
+
+    def _handle(self, frame: Frame) -> None:
+        self.frames_received += 1
+        self.bytes_received += frame.wire_size
+        self.tracer.emit(self.sim.now, self.name, "rx_done", frame=frame.frame_id)
+        if self._rx_handler is None:
+            raise NetworkError(
+                f"{self.name}: frame {frame!r} arrived but no receive handler "
+                "is installed"
+            )
+        self._rx_handler(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self.idle else f"busy(q={len(self._queue)})"
+        return f"<Nic {self.name} {state}>"

@@ -1,0 +1,77 @@
+"""Utilization and throughput reporting over a finished simulation.
+
+Answers the question the paper's design keeps returning to — are the NICs
+"exploited at their maximum ... not overloaded when there is a high demand
+of transfers and under exploited when there is not" (§3.1) — with per-NIC
+busy fractions and achieved throughput, plus a cluster-wide summary the
+multirail benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.nic import Nic
+from repro.netsim.topology import Cluster
+
+__all__ = ["NicUtilization", "nic_utilization", "cluster_utilization",
+           "render_utilization"]
+
+
+@dataclass(frozen=True)
+class NicUtilization:
+    """One NIC's activity summary over ``[0, horizon_us]``."""
+
+    name: str
+    busy_us: float
+    horizon_us: float
+    frames_sent: int
+    bytes_sent: int
+    frames_received: int
+    bytes_received: int
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of the horizon the card spent transmitting."""
+        return self.busy_us / self.horizon_us if self.horizon_us > 0 else 0.0
+
+    @property
+    def achieved_tx_mbps(self) -> float:
+        """Average injected bandwidth over the horizon (decimal MB/s)."""
+        return self.bytes_sent / self.horizon_us if self.horizon_us > 0 \
+            else 0.0
+
+
+def nic_utilization(nic: Nic, horizon_us: float) -> NicUtilization:
+    """Snapshot one NIC's counters against a time horizon."""
+    if horizon_us < 0:
+        raise ValueError(f"negative horizon {horizon_us}")
+    return NicUtilization(
+        name=nic.name,
+        busy_us=nic.busy_time,
+        horizon_us=horizon_us,
+        frames_sent=nic.frames_sent,
+        bytes_sent=nic.bytes_sent,
+        frames_received=nic.frames_received,
+        bytes_received=nic.bytes_received,
+    )
+
+
+def cluster_utilization(cluster: Cluster) -> list[NicUtilization]:
+    """Utilization of every NIC at the cluster's current time."""
+    horizon = cluster.sim.now
+    return [nic_utilization(nic, horizon)
+            for node in cluster.nodes for nic in node.nics]
+
+
+def render_utilization(utils: list[NicUtilization]) -> str:
+    """Aligned text table of per-NIC utilization."""
+    lines = [f"{'nic':<24} {'busy%':>7} {'tx MB/s':>9} {'frames':>8} "
+             f"{'bytes':>12}"]
+    for u in utils:
+        lines.append(
+            f"{u.name:<24} {100 * u.busy_fraction:>6.1f}% "
+            f"{u.achieved_tx_mbps:>9.1f} {u.frames_sent:>8} "
+            f"{u.bytes_sent:>12}"
+        )
+    return "\n".join(lines)

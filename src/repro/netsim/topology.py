@@ -1,0 +1,98 @@
+"""Cluster construction: nodes, rails and full-mesh wiring.
+
+A *rail* is one network technology connecting every node (the paper's
+evaluation platform has two rails: Myri-10G and Quadrics).  The cluster
+builds one NIC per (node, rail) and a pair of directed links per node pair
+per rail.  The multirail strategy (paper §4) and the heterogeneous
+load-balancing future work (paper §7) operate across rails of a single
+cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import NetworkError
+from repro.netsim.link import Link
+from repro.netsim.nic import Nic
+from repro.netsim.node import Node
+from repro.netsim.profiles import HOST_2006_OPTERON, HostProfile, NicProfile
+from repro.sim import Simulator, Tracer
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A set of nodes fully connected on each rail."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int = 2,
+        rails: Sequence[NicProfile] = (),
+        host: HostProfile = HOST_2006_OPTERON,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if n_nodes < 2:
+            raise NetworkError(f"a cluster needs at least 2 nodes, got {n_nodes}")
+        if not rails:
+            raise NetworkError("a cluster needs at least one rail profile")
+        self.sim = sim
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.host = host
+        self.rails: tuple[NicProfile, ...] = tuple(rails)
+        self.nodes: list[Node] = []
+        self.links: list[Link] = []
+
+        for node_id in range(n_nodes):
+            node = Node(sim, node_id, memory=host.memory, tracer=self.tracer)
+            for rail_idx, profile in enumerate(self.rails):
+                node.add_nic(Nic(sim, node_id, rail_idx, profile, tracer=self.tracer))
+            self.nodes.append(node)
+
+        for rail_idx, profile in enumerate(self.rails):
+            for a in range(n_nodes):
+                for b in range(n_nodes):
+                    if a == b:
+                        continue
+                    src = self.nodes[a].nic(rail_idx)
+                    dst = self.nodes[b].nic(rail_idx)
+                    link = Link(sim, src, dst, profile.latency_us, tracer=self.tracer)
+                    src.connect(b, link)
+                    self.links.append(link)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Node by id, with a helpful error on bad ids."""
+        if not 0 <= node_id < len(self.nodes):
+            raise NetworkError(
+                f"node id {node_id} out of range (cluster has {len(self.nodes)})"
+            )
+        return self.nodes[node_id]
+
+    def rail_index(self, tech_or_name: str) -> int:
+        """Find a rail by profile name or technology string."""
+        for idx, profile in enumerate(self.rails):
+            if tech_or_name in (profile.name, profile.tech):
+                return idx
+        raise NetworkError(
+            f"no rail {tech_or_name!r} in cluster "
+            f"(rails: {[p.name for p in self.rails]})"
+        )
+
+    def conservation_ok(self) -> bool:
+        """True when no frame is lost or duplicated on any quiesced link."""
+        return all(
+            l.frames_sent == l.frames_delivered
+            and l.bytes_sent == l.bytes_delivered
+            for l in self.links
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster {len(self.nodes)} nodes, "
+            f"rails={[p.name for p in self.rails]}>"
+        )

@@ -1,0 +1,107 @@
+"""Units and size helpers.
+
+Library-wide conventions (documented once here, relied on everywhere):
+
+* **time** is simulated microseconds (``float``),
+* **sizes** are bytes (``int``),
+* **bandwidths** are bytes per microsecond (== MB/s / 1e0... precisely:
+  1 byte/us = 10^6 bytes/s ≈ 0.9537 MiB/s; we use the decimal convention
+  ``1 MB/s == 1e6 bytes/s == 1 byte/us`` which matches how the paper's
+  axes are labelled).
+
+The paper's message-size axes use "characters" with labels like ``4``,
+``1K``, ``2M``; :func:`parse_size` and :func:`format_size` mirror that
+labelling so benchmark tables read like the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "parse_size",
+    "format_size",
+    "mbps_to_bytes_per_us",
+    "bytes_per_us_to_mbps",
+    "wire_time_us",
+    "log2_size_sweep",
+]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+_SUFFIXES = {"": 1, "B": 1, "K": KB, "KB": KB, "M": MB, "MB": MB, "G": GB, "GB": GB}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a figure-axis style size label (``"4"``, ``"32K"``, ``"2M"``).
+
+    Integers pass through unchanged.  Raises ``ValueError`` on nonsense.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size {text}")
+        return text
+    s = text.strip().upper()
+    idx = len(s)
+    while idx > 0 and not s[idx - 1].isdigit():
+        idx -= 1
+    num, suffix = s[:idx], s[idx:]
+    if not num.isdigit() or suffix not in _SUFFIXES:
+        raise ValueError(f"cannot parse size {text!r}")
+    return int(num) * _SUFFIXES[suffix]
+
+
+def format_size(nbytes: int) -> str:
+    """Format bytes the way the paper labels its x axes (``4``, ``1K``, ``2M``)."""
+    if nbytes < 0:
+        raise ValueError(f"negative size {nbytes}")
+    for factor, suffix in ((GB, "G"), (MB, "M"), (KB, "K")):
+        if nbytes >= factor and nbytes % factor == 0:
+            return f"{nbytes // factor}{suffix}"
+    return str(nbytes)
+
+
+def mbps_to_bytes_per_us(mbps: float) -> float:
+    """Convert decimal MB/s to bytes per microsecond (numerically equal)."""
+    if mbps < 0:
+        raise ValueError(f"negative bandwidth {mbps}")
+    return mbps  # 1 MB/s = 1e6 B / 1e6 us = 1 B/us
+
+def bytes_per_us_to_mbps(bpu: float) -> float:
+    """Convert bytes per microsecond to decimal MB/s (numerically equal)."""
+    if bpu < 0:
+        raise ValueError(f"negative bandwidth {bpu}")
+    return bpu
+
+
+def wire_time_us(nbytes: int, bandwidth_mbps: float) -> float:
+    """Serialization time of ``nbytes`` at ``bandwidth_mbps`` decimal MB/s."""
+    if nbytes < 0:
+        raise ValueError(f"negative size {nbytes}")
+    if bandwidth_mbps <= 0:
+        raise ValueError(f"non-positive bandwidth {bandwidth_mbps}")
+    return nbytes / mbps_to_bytes_per_us(bandwidth_mbps)
+
+
+def log2_size_sweep(lo: str | int, hi: str | int) -> List[int]:
+    """Inclusive power-of-two sweep between two sizes, like the figure axes.
+
+    ``log2_size_sweep("4", "2M")`` reproduces the x axis of paper Figure 2.
+    """
+    lo_b, hi_b = parse_size(lo), parse_size(hi)
+    if lo_b <= 0 or hi_b < lo_b:
+        raise ValueError(f"bad sweep bounds ({lo!r}, {hi!r})")
+    if 2 ** int(math.log2(lo_b)) != lo_b:
+        raise ValueError(f"sweep bounds must be powers of two, got {lo!r}")
+    sizes = []
+    size = lo_b
+    while size <= hi_b:
+        sizes.append(size)
+        size *= 2
+    return sizes

@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel (the reproduction's time substrate)."""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Simulator",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

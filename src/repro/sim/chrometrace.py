@@ -1,0 +1,89 @@
+"""Export captured traces to Chrome's ``chrome://tracing`` JSON format.
+
+The :class:`~repro.sim.trace.Tracer` records flat events; this module turns
+them into the Trace Event Format so a whole simulation — NIC busy spans,
+scheduler pulls, matches — can be inspected visually in any Chromium
+browser or in Perfetto.
+
+Span pairing is convention-based: a record of kind ``<x>_start`` opens a
+duration span on its source's track, closed by the next ``<x>_done`` from
+the same source (nested spans of the same kind per source are not expected
+from the library's emitters and raise).  Every other record becomes an
+instant event.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.errors import ReproError
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+
+def to_chrome_trace(records: Iterable[TraceRecord]) -> list[dict]:
+    """Convert trace records to a list of Trace Event Format dicts.
+
+    Sources map to thread names (``tid``) within one process, so parallel
+    NIC activity renders as parallel tracks.
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+    open_spans: dict[tuple[str, str], dict] = {}
+
+    def tid_of(source: str) -> int:
+        if source not in tids:
+            tids[source] = len(tids) + 1
+            events.append({
+                "ph": "M", "pid": 1, "tid": tids[source],
+                "name": "thread_name", "args": {"name": source},
+            })
+        return tids[source]
+
+    for rec in records:
+        tid = tid_of(rec.source)
+        args = {k: v for k, v in rec.detail.items()
+                if isinstance(v, (int, float, str, bool))}
+        if rec.kind.endswith("_start"):
+            stem = rec.kind[:-len("_start")]
+            key = (rec.source, stem)
+            if key in open_spans:
+                raise ReproError(
+                    f"nested {stem!r} span on {rec.source} at t={rec.time}"
+                )
+            open_spans[key] = {
+                "ph": "X", "pid": 1, "tid": tid, "name": stem,
+                "ts": rec.time, "args": args,
+            }
+        elif rec.kind.endswith("_done"):
+            stem = rec.kind[:-len("_done")]
+            span = open_spans.pop((rec.source, stem), None)
+            if span is None:
+                # A completion without a captured start (e.g. the tracer was
+                # enabled mid-flight): record an instant instead.
+                events.append({"ph": "i", "pid": 1, "tid": tid,
+                               "name": rec.kind, "ts": rec.time, "s": "t",
+                               "args": args})
+                continue
+            span["dur"] = rec.time - span["ts"]
+            span["args"].update(args)
+            events.append(span)
+        else:
+            events.append({"ph": "i", "pid": 1, "tid": tid, "name": rec.kind,
+                           "ts": rec.time, "s": "t", "args": args})
+    if open_spans:
+        # Close dangling spans at their start time so the file stays valid.
+        for span in open_spans.values():
+            span["dur"] = 0.0
+            events.append(span)
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write ``tracer``'s records as a Chrome trace file; returns event count."""
+    events = to_chrome_trace(tracer.records)
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)

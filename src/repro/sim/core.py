@@ -1,0 +1,434 @@
+"""Discrete-event simulation kernel.
+
+This is the substrate on which every experiment in the reproduction runs.
+The paper's engine reacts to *hardware activity* (a NIC finishing a
+transmission), so we need an event-driven clock rather than wall time.  The
+kernel is deliberately small and SimPy-flavoured:
+
+* :class:`Simulator` owns a monotonically non-decreasing clock (``now``, in
+  microseconds by convention) and a binary-heap event queue.
+* :class:`Event` is a one-shot occurrence that callbacks and processes can
+  wait on.  :class:`Timeout` is an event scheduled at ``now + delay``.
+* :class:`Process` wraps a generator; the generator yields events (or other
+  processes, or :class:`AllOf`/:class:`AnyOf` conditions) and is resumed with
+  the event's value when it triggers.  This lets the ping-pong applications,
+  protocol state machines, and the engine's progress loop all be written as
+  straight-line coroutines over simulated time.
+
+The kernel is single-threaded and deterministic: events scheduled for the
+same timestamp fire in FIFO scheduling order (a strictly increasing sequence
+number breaks ties), which makes every simulation and therefore every
+benchmark series exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it may be :meth:`succeed`-ed (optionally with
+    a value) or :meth:`fail`-ed (with an exception) exactly once.  Callbacks
+    registered before triggering run, in registration order, when the
+    simulator processes the event; callbacks registered after triggering are
+    scheduled to run immediately (still via the event queue, preserving
+    determinism).
+    """
+
+    __slots__ = ("sim", "_callbacks", "_ok", "_value", "_exc", "_defused", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._ok: Optional[bool] = None  # None=pending, True=succeeded, False=failed
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        # Failed events whose exception is never observed raise at run() end
+        # unless "defused" (observed by a waiter or explicitly).
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event succeeded or failed."""
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value (or raises the failure exception)."""
+        if self._ok is None:
+            raise SimulationError(f"value of pending event {self!r}")
+        if self._ok:
+            return self._value
+        self._defused = True
+        assert self._exc is not None
+        raise self._exc
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks."""
+        if self._ok is not None:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._activate(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters will see ``exc`` raised."""
+        if self._ok is not None:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._exc = exc
+        self.sim._activate(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as observed so run() does not re-raise it."""
+        self._defused = True
+
+    # -- waiting --------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers (immediately if done)."""
+        if self._callbacks is None:
+            # Already processed: schedule the callback as a fresh occurrence.
+            self.sim.schedule(0.0, lambda: fn(self))
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if self._ok is None
+            else ("ok" if self._ok else f"failed({self._exc!r})")
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        # The success value is stored now; the event only *triggers* when the
+        # run loop pops it at now+delay (see Simulator.run), so `triggered`
+        # and condition bookkeeping stay accurate in the meantime.
+        self._value = value
+        sim._schedule_event(delay, self)
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"process interrupted (cause={cause!r})")
+        self.cause = cause
+
+
+class Process(Event):
+    """A running coroutine over simulated time.
+
+    A process *is* an event: it triggers with the generator's return value
+    when the generator finishes (or fails with the raised exception), so
+    processes can wait on each other by yielding them.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current time.
+        init = Event(sim, name=f"init:{self.name}")
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned (its callback is
+        disabled); the process decides how to recover.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        if self._waiting_on is self:
+            raise SimulationError("a process cannot interrupt itself at spawn")
+        self.sim.schedule(0.0, lambda: self._throw(Interrupt(cause)))
+
+    # -- internal -------------------------------------------------------
+    def _resume(self, evt: Event) -> None:
+        if not self.is_alive:
+            # Stale wakeup of a finished process (e.g. the timeout it was
+            # interrupted out of finally fired).
+            if not evt._ok:
+                evt._defused = True
+            return
+        if self._waiting_on is not None and evt is not self._waiting_on:
+            # Stale wakeup from an event we abandoned after an interrupt.
+            return
+        self._waiting_on = None
+        if evt._ok:
+            self._step(lambda: self._gen.send(evt._value))
+        else:
+            evt._defused = True
+            exc = evt._exc
+            assert exc is not None
+            self._step(lambda: self._gen.throw(exc))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        self._step(lambda: self._gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process failure path
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes may only yield Event instances"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of child events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, name=type(self).__name__)
+        self.events: tuple[Event, ...] = tuple(events)
+        for evt in self.events:
+            if evt.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._n_done = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for evt in self.events:
+            evt.add_callback(self._child_done)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e._ok}
+
+    def _child_done(self, evt: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when *every* child event has succeeded.
+
+    Fails fast (with the child's exception) if any child fails.
+    """
+
+    __slots__ = ()
+
+    def _child_done(self, evt: Event) -> None:
+        if self.triggered:
+            if not evt._ok:
+                evt._defused = True
+            return
+        if not evt._ok:
+            evt._defused = True
+            assert evt._exc is not None
+            self.fail(evt._exc)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers when the *first* child event succeeds (or fails)."""
+
+    __slots__ = ()
+
+    def _child_done(self, evt: Event) -> None:
+        if self.triggered:
+            if not evt._ok:
+                evt._defused = True
+            return
+        if evt._ok:
+            self.succeed(self._collect())
+        else:
+            evt._defused = True
+            assert evt._exc is not None
+            self.fail(evt._exc)
+
+
+class Simulator:
+    """The event loop: a clock plus a deterministic priority queue."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Any]] = []
+        self._seq = 0
+        self._running = False
+        self._n_processed = 0
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by library convention)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of queue entries processed so far (for stats)."""
+        return self._n_processed
+
+    # -- event construction ------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event succeeding when all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event succeeding at the first ``events`` success."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` after ``delay`` time units (0 = this timestamp)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._next_seq(), fn))
+
+    def _schedule_event(self, delay: float, event: Event) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._next_seq(), event))
+
+    def _activate(self, event: Event) -> None:
+        """Queue a triggered event's callbacks for execution *now*."""
+        heapq.heappush(self._queue, (self._now, self._next_seq(), event))
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- run loop -------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the simulation time at exit.  Raises the exception of any
+        failed event that no waiter observed (so protocol bugs surface in
+        tests instead of vanishing).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            budget = max_events
+            while self._queue:
+                t, _, item = self._queue[0]
+                if until is not None and t > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._queue)
+                if t < self._now:  # pragma: no cover - heap guarantees ordering
+                    raise SimulationError("time went backwards")
+                self._now = t
+                self._n_processed += 1
+                budget -= 1
+                if budget < 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelock"
+                    )
+                if isinstance(item, Event):
+                    if item._ok is None:
+                        # A Timeout reaching its due time: trigger it now.
+                        item._ok = True
+                    callbacks = item._callbacks
+                    item._callbacks = None
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(item)
+                    if item._ok is False and not item._defused:
+                        assert item._exc is not None
+                        raise item._exc
+                else:
+                    item()
+            return self._now
+        finally:
+            self._running = False
+
+    def run_process(self, gen: Generator, name: str = "") -> Any:
+        """Convenience: spawn ``gen``, run to completion, return its value."""
+        proc = self.spawn(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} never finished (deadlock: queue drained "
+                "while the process was still waiting)"
+            )
+        return proc.value
+
+    def peek(self) -> float:
+        """Time of the next scheduled item, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

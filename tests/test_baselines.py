@@ -1,0 +1,258 @@
+"""Tests for the baseline MPI models (MPICH / OpenMPI behaviour)."""
+
+import pytest
+
+from repro.baselines import (
+    MPICH_MX,
+    MPICH_QUADRICS,
+    OPENMPI_MX,
+    BaselineParams,
+    MpichMpi,
+    OpenMpi,
+)
+from repro.core import VirtualData
+from repro.errors import MpiError
+from repro.madmpi import ANY, Communicator, Indexed, indexed_small_large
+from repro.netsim import Cluster, MX_MYRI10G, QUADRICS_QM500
+from repro.sim import Simulator
+
+
+def make_pair(cls=MpichMpi, rails=(MX_MYRI10G,), params=None):
+    sim = Simulator()
+    cluster = Cluster(sim, n_nodes=2, rails=rails)
+    world = Communicator([0, 1])
+    mpis = [cls(cluster.node(i), world, params=params) for i in range(2)]
+    return sim, cluster, mpis
+
+
+class TestEager:
+    def test_roundtrip_bytes(self):
+        sim, cluster, (m0, m1) = make_pair()
+
+        def app():
+            m0.isend(b"hello mpich", dest=1, tag=2)
+            req = yield from m1.recv(source=0, tag=2)
+            return req
+
+        req = sim.run_process(app())
+        assert req.data.tobytes() == b"hello mpich"
+        assert req.source == 0 and req.tag == 2 and req.count == 11
+        assert cluster.conservation_ok()
+
+    def test_one_frame_per_message(self):
+        sim, _, (m0, m1) = make_pair()
+
+        def app():
+            recvs = [m1.irecv(source=0, tag=i) for i in range(10)]
+            for i in range(10):
+                m0.isend(VirtualData(64), dest=1, tag=i)
+            yield sim.all_of([r.done for r in recvs])
+
+        sim.run_process(app())
+        # Direct mapping: no coalescing, ever.
+        assert m0.frames_sent == 10
+
+    def test_ordering_preserved(self):
+        sim, _, (m0, m1) = make_pair()
+
+        def app():
+            for i in range(20):
+                m0.isend(bytes([i]), dest=1, tag=0)
+            out = []
+            for _ in range(20):
+                req = yield from m1.recv(source=0, tag=0)
+                out.append(req.data.tobytes()[0])
+            return out
+
+        assert sim.run_process(app()) == list(range(20))
+
+    def test_truncation(self):
+        sim, _, (m0, m1) = make_pair()
+
+        def app():
+            req = m1.irecv(source=0, nbytes=2)
+            m0.isend(b"too long", dest=1)
+            try:
+                yield req.done
+            except MpiError as exc:
+                return str(exc)
+
+        assert "truncation" in sim.run_process(app())
+
+    def test_wildcard_recv(self):
+        sim, _, (m0, m1) = make_pair()
+
+        def app():
+            m0.isend(b"w", dest=1, tag=42)
+            req = yield from m1.recv(source=ANY, tag=ANY)
+            return req
+
+        req = sim.run_process(app())
+        assert req.tag == 42
+
+    def test_self_send_rejected(self):
+        _, _, (m0, _) = make_pair()
+        with pytest.raises(MpiError, match="self-send"):
+            m0.isend(b"x", dest=0)
+
+
+class TestRendezvous:
+    def test_large_contiguous_roundtrip(self):
+        sim, _, (m0, m1) = make_pair()
+        payload = bytes(i % 256 for i in range(200_000))
+
+        def app():
+            req = m1.irecv(source=0, tag=5)
+            m0.isend(payload, dest=1, tag=5)
+            yield req.done
+            return req
+
+        req = sim.run_process(app())
+        assert req.data.tobytes() == payload
+        assert m0.rdv_handshakes == 1
+
+    def test_rdv_waits_for_receiver(self):
+        sim, _, (m0, m1) = make_pair()
+
+        def app():
+            sreq = m0.isend(VirtualData(100_000), dest=1, tag=1)
+            yield sim.timeout(300.0)
+            assert not sreq.complete
+            req = m1.irecv(source=0, tag=1)
+            yield req.done
+            yield sreq.done
+            return True
+
+        assert sim.run_process(app())
+
+    def test_eager_threshold_respected(self):
+        params = BaselineParams(name="t", sw_overhead_us=0.1, header_bytes=8,
+                                eager_threshold=1000)
+        sim, _, (m0, m1) = make_pair(params=params)
+
+        def app():
+            r1 = m1.irecv(source=0, tag=1)
+            r2 = m1.irecv(source=0, tag=2)
+            m0.isend(VirtualData(1000), dest=1, tag=1)   # eager
+            m0.isend(VirtualData(1001), dest=1, tag=2)   # rendezvous
+            yield sim.all_of([r1.done, r2.done])
+
+        sim.run_process(app())
+        assert m0.rdv_handshakes == 1
+
+
+class TestDatatypes:
+    def test_typed_roundtrip_content(self):
+        sim, _, (m0, m1) = make_pair()
+        dtype = Indexed([4, 4], [0, 8])
+        buf = bytes(range(dtype.extent))
+
+        def app():
+            rreq = m1.irecv(source=0, datatype=dtype)
+            m0.isend(buf, dest=1, datatype=dtype)
+            yield rreq.done
+            return rreq
+
+        rreq = sim.run_process(app())
+        out = bytearray(dtype.extent)
+        rreq.scatter_into(out)
+        for disp, length in dtype.flatten():
+            assert out[disp:disp + length] == buf[disp:disp + length]
+
+    def test_pack_unpack_cost_charged(self):
+        # A typed exchange must be slower than a contiguous exchange of the
+        # same byte count: that delta is the pack+unpack the paper blames.
+        dtype = indexed_small_large(repeats=2)  # ~512KB
+
+        def run(typed):
+            sim, _, (m0, m1) = make_pair()
+
+            def app():
+                if typed:
+                    r = m1.irecv(source=0, datatype=dtype)
+                    m0.isend(VirtualData(dtype.extent), dest=1, datatype=dtype)
+                else:
+                    r = m1.irecv(source=0)
+                    m0.isend(VirtualData(dtype.size), dest=1)
+                yield r.done
+                return sim.now
+
+            return sim.run_process(app())
+
+        t_typed, t_flat = run(True), run(False)
+        assert t_typed > t_flat * 1.5
+
+    def test_openmpi_pipeline_beats_mpich_pack(self):
+        # Chunked pack/send overlap must beat pack-all-then-send for a
+        # large noncontiguous message (the Figure-4 baseline ordering).
+        dtype = indexed_small_large(repeats=4)  # ~1MB
+
+        def run(cls):
+            sim, _, (m0, m1) = make_pair(cls=cls)
+
+            def app():
+                r = m1.irecv(source=0, datatype=dtype)
+                m0.isend(VirtualData(dtype.extent), dest=1, datatype=dtype)
+                yield r.done
+                return sim.now
+
+            return sim.run_process(app())
+
+        assert run(OpenMpi) < run(MpichMpi)
+
+    def test_small_typed_message_stays_eager(self):
+        sim, _, (m0, m1) = make_pair()
+        dtype = Indexed([16, 16], [0, 32])
+
+        def app():
+            r = m1.irecv(source=0, datatype=dtype)
+            m0.isend(VirtualData(dtype.extent), dest=1, datatype=dtype)
+            yield r.done
+
+        sim.run_process(app())
+        assert m0.rdv_handshakes == 0
+        assert m0.frames_sent == 1  # one packed transaction
+
+
+class TestProfilesAndParams:
+    def test_default_params_follow_nic_tech(self):
+        _, _, (mx0, _) = make_pair(rails=(MX_MYRI10G,))
+        assert mx0.params is MPICH_MX
+        _, _, (q0, _) = make_pair(rails=(QUADRICS_QM500,))
+        assert q0.params is MPICH_QUADRICS
+
+    def test_openmpi_heavier_than_mpich_small(self):
+        def rtt(cls):
+            sim, _, (m0, m1) = make_pair(cls=cls)
+
+            def app():
+                m1pong = None
+
+                def pong():
+                    req = yield from m1.recv(source=0)
+                    yield from m1.send(b"r", dest=0)
+
+                sim.spawn(pong())
+                t0 = sim.now
+                yield from m0.send(b"q", dest=1)
+                yield from m0.recv(source=1)
+                return sim.now - t0
+
+            return sim.run_process(app())
+
+        assert rtt(OpenMpi) > rtt(MpichMpi)
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            BaselineParams(name="x", sw_overhead_us=-1, header_bytes=0,
+                           eager_threshold=100)
+        with pytest.raises(ValueError):
+            BaselineParams(name="x", sw_overhead_us=0, header_bytes=0,
+                           eager_threshold=0)
+        with pytest.raises(ValueError):
+            BaselineParams(name="x", sw_overhead_us=0, header_bytes=0,
+                           eager_threshold=10, dt_pipeline_chunk=0)
+
+    def test_openmpi_default_params(self):
+        _, _, (o0, _) = make_pair(cls=OpenMpi)
+        assert o0.params is OPENMPI_MX

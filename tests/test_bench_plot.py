@@ -1,0 +1,79 @@
+"""Tests for the ASCII log-log plot renderer."""
+
+import pytest
+
+from repro.bench.plot import render_plot
+from repro.bench.report import Series
+from repro.errors import ReproError
+
+
+def series(label="a", backend="a", sizes=(4, 64, 1024), values=(1.0, 2.0, 8.0)):
+    return Series(label=label, backend=backend, sizes=list(sizes),
+                  values=list(values))
+
+
+class TestRenderPlot:
+    def test_contains_title_axes_legend(self):
+        text = render_plot("my title", [series()])
+        assert "my title" in text
+        assert "o=a" in text
+        assert "+---" in text
+
+    def test_axis_labels_use_size_formatting(self):
+        text = render_plot("t", [series(sizes=[4, 1024, 2 * 1024 ** 2],
+                                        values=[1, 2, 3])])
+        assert "2M" in text
+        assert text.count("4") >= 1
+
+    def test_extreme_values_on_grid_bounds(self):
+        s = series(values=(1.0, 10.0, 100.0))
+        text = render_plot("t", [s], width=20, height=8)
+        lines = text.splitlines()
+        # Max value label at the top row, min at the bottom row.
+        assert "100" in lines[1]
+        assert lines[8].strip().startswith("1 ")
+
+    def test_two_series_two_markers(self):
+        a = series(label="A", values=(1, 2, 4))
+        b = series(label="B", backend="b", values=(10, 20, 40))
+        text = render_plot("t", [a, b])
+        assert "o=A" in text and "x=B" in text
+        assert "o" in text and "x" in text
+
+    def test_exact_overlap_renders_star(self):
+        a = series(label="A")
+        b = series(label="B", backend="b")
+        text = render_plot("t", [a, b])
+        assert "*" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = render_plot("t", [series(values=(5.0, 5.0, 5.0))])
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            render_plot("t", [])
+        with pytest.raises(ReproError):
+            render_plot("t", [series()], width=4)
+        with pytest.raises(ReproError):
+            render_plot("t", [series(values=(0.0, 1.0, 2.0))])
+        many = [series(label=str(i), backend=str(i)) for i in range(9)]
+        with pytest.raises(ReproError, match="at most"):
+            render_plot("t", many)
+
+    def test_linear_axes(self):
+        text = render_plot("t", [series(sizes=[1, 2, 3], values=[1, 2, 3])],
+                           logx=False, logy=False)
+        assert "o" in text
+
+    def test_cli_plot_flag(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["figures", "--quick", "--only", "fig4", "--iters", "1",
+                     "--plot"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "(* = overlap)" in text

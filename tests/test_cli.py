@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_only_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "--only", "fig9"])
+
+
+class TestCommands:
+    def test_profiles_lists_all(self):
+        code, text = run_cli("profiles")
+        assert code == 0
+        for name in ("mx_myri10g", "quadrics_qm500", "gm_myrinet",
+                     "sisci_sci", "tcp_gige"):
+            assert name in text
+
+    def test_strategies_lists_database(self):
+        code, text = run_cli("strategies")
+        assert code == 0
+        for name in ("fifo", "aggregation", "multirail", "adaptive"):
+            assert name in text
+
+    def test_quick_fig4(self):
+        code, text = run_cli("figures", "--quick", "--only", "fig4",
+                             "--iters", "1")
+        assert code == 0
+        assert "Figure 4" in text
+        assert "MadMPI/MX" in text and "MPICH-MX" in text
+        assert "peak gain" in text
+
+    def test_quick_fig2(self):
+        code, text = run_cli("figures", "--quick", "--only", "fig2",
+                             "--iters", "1")
+        assert code == 0
+        assert "Figure 2" in text
+        assert "derived bandwidth" in text
+        assert "(values in MB/s)" in text
+
+    def test_quick_fig3(self):
+        code, text = run_cli("figures", "--quick", "--only", "fig3",
+                             "--iters", "1")
+        assert code == 0
+        assert "8-segment" in text and "16-segment" in text
+
+    def test_bad_iters_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("figures", "--quick", "--iters", "0")

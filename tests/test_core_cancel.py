@@ -1,0 +1,100 @@
+"""Tests for send cancellation (window removal + sequence tombstones)."""
+
+import pytest
+
+from repro.core import NmadEngine, VirtualData
+from repro.errors import MpiError
+from repro.netsim import Cluster, MX_MYRI10G
+from repro.sim import Simulator
+
+
+def make():
+    sim = Simulator()
+    cluster = Cluster(sim, rails=(MX_MYRI10G,))
+    return sim, NmadEngine(cluster.node(0)), NmadEngine(cluster.node(1))
+
+
+class TestCancel:
+    def test_cancel_while_in_window(self):
+        sim, e0, e1 = make()
+
+        def app():
+            # Occupy the NIC so the next submit stays in the window.
+            e1.irecv(src=0, tag=0)
+            e0.isend(1, VirtualData(20_000), tag=0)
+            yield sim.timeout(0.5)
+            victim = e0.isend(1, b"never sent", tag=1)
+            assert e0.cancel(victim) is True
+            try:
+                yield victim.done
+            except MpiError as exc:
+                return str(exc)
+
+        msg = sim.run_process(app())
+        assert "cancelled" in msg
+
+    def test_cancel_after_send_fails(self):
+        sim, e0, e1 = make()
+
+        def app():
+            e1.irecv(src=0, tag=0)
+            req = e0.isend(1, b"gone", tag=0)
+            yield req.done
+            return e0.cancel(req)
+
+        assert sim.run_process(app()) is False
+
+    def test_tombstone_keeps_stream_flowing(self):
+        # Cancel a middle message; later traffic on the same flow must
+        # still be delivered (no permanent sequence hole).
+        sim, e0, e1 = make()
+
+        def app():
+            r0 = e1.irecv(src=0, tag=0)
+            r2 = e1.irecv(src=0, tag=2)
+            e0.isend(1, VirtualData(20_000), tag=0)  # occupies the NIC
+            yield sim.timeout(0.5)
+            victim = e0.isend(1, b"victim", tag=1)   # seq 1, in window
+            after = e0.isend(1, b"after", tag=2)     # seq 2, in window
+            assert e0.cancel(victim)
+            yield sim.all_of([r0.done, r2.done])
+            return r2
+
+        r2 = sim.run_process(app())
+        assert r2.data.tobytes() == b"after"
+        assert e0.quiesced() and e1.quiesced()
+
+    def test_cancelled_bytes_never_reach_receiver(self):
+        sim, e0, e1 = make()
+
+        def app():
+            e1.irecv(src=0, tag=0)
+            r_after = e1.irecv(src=0, tag=1)
+            e0.isend(1, VirtualData(20_000), tag=0)
+            yield sim.timeout(0.5)
+            victim = e0.isend(1, b"SECRET", tag=1)
+            e0.cancel(victim)
+            e0.isend(1, b"public", tag=1)
+            yield r_after.done
+            return r_after
+
+        req = sim.run_process(app())
+        # The first tag-1 receive matches the *next* tag-1 message, not the
+        # cancelled one.
+        assert req.data.tobytes() == b"public"
+
+    def test_cancel_twice_second_fails(self):
+        sim, e0, e1 = make()
+
+        def app():
+            e1.irecv(src=0, tag=0)
+            e0.isend(1, VirtualData(20_000), tag=0)
+            yield sim.timeout(0.5)
+            victim = e0.isend(1, b"x", tag=1)
+            first = e0.cancel(victim)
+            second = e0.cancel(victim)
+            victim.done.defuse()
+            return first, second
+
+        first, second = sim.run_process(app())
+        assert first is True and second is False

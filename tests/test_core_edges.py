@@ -1,0 +1,135 @@
+"""Remaining engine edge cases across protocol combinations."""
+
+import pytest
+
+from repro.core import EngineParams, NmadEngine, VirtualData
+from repro.errors import MpiError
+from repro.netsim import Cluster, MX_MYRI10G, QUADRICS_QM500
+from repro.sim import Simulator
+
+
+def make(rails=(MX_MYRI10G,), **kw):
+    sim = Simulator()
+    cluster = Cluster(sim, rails=rails)
+    e0 = NmadEngine(cluster.node(0), **kw)
+    e1 = NmadEngine(cluster.node(1), **kw)
+    return sim, cluster, e0, e1
+
+
+class TestRendezvousTruncation:
+    def test_oversized_rdv_message_fails_capacity_check(self):
+        sim, _, e0, e1 = make()
+
+        def app():
+            req = e1.irecv(src=0, tag=0, nbytes=1024)
+            e0.isend(1, VirtualData(100_000), tag=0)  # rendezvous-sized
+            try:
+                yield req.done
+            except MpiError as exc:
+                return str(exc)
+
+        msg = sim.run_process(app())
+        assert msg is not None and "truncation" in msg
+
+
+class TestWildcardWithRendezvous:
+    def test_any_source_matches_rdv_announcement(self):
+        sim = Simulator()
+        cluster = Cluster(sim, n_nodes=3, rails=(MX_MYRI10G,))
+        engines = [NmadEngine(cluster.node(i)) for i in range(3)]
+        payload = bytes(i % 256 for i in range(80_000))
+
+        def app():
+            req = engines[1].irecv()  # fully wildcard
+            engines[2].isend(1, payload, tag=9)
+            yield req.done
+            return req
+
+        req = sim.run_process(app())
+        assert req.actual_src == 2
+        assert req.actual_tag == 9
+        assert req.data.tobytes() == payload
+
+
+class TestMixedSizesOneFlow:
+    def test_alternating_eager_rdv_many(self):
+        sim, cluster, e0, e1 = make()
+        sizes = [100, 100_000, 50, 200_000, 8_192, 64_000, 0, 33_000]
+
+        def app():
+            reqs = [e1.irecv(src=0, tag=i) for i in range(len(sizes))]
+            for i, size in enumerate(sizes):
+                e0.isend(1, VirtualData(size), tag=i)
+            out = []
+            for req in reqs:
+                yield req.done
+                out.append(req.actual_len)
+            return out
+
+        assert sim.run_process(app()) == sizes
+        assert cluster.conservation_ok()
+        assert e0.quiesced() and e1.quiesced()
+
+    def test_tiny_rdv_chunking_boundary(self):
+        # Chunk size exactly dividing and not dividing the transfer.
+        for size in (128 * 1024, 128 * 1024 + 1, 128 * 1024 - 1):
+            params = EngineParams(rdv_chunk_bytes=64 * 1024)
+            sim, _, e0, e1 = make(params=params)
+
+            def app():
+                req = e1.irecv(src=0, tag=0)
+                e0.isend(1, VirtualData(size), tag=0)
+                yield req.done
+                return req.actual_len
+
+            assert sim.run_process(app()) == size
+
+
+class TestStrategySwitchMidTraffic:
+    def test_switch_during_backlog_is_safe(self):
+        sim, _, e0, e1 = make(strategy="fifo")
+
+        def app():
+            recvs = [e1.irecv(src=0, tag=i) for i in range(10)]
+            e0.isend(1, VirtualData(24_000), tag=0)  # occupy NIC
+            yield sim.timeout(0.5)
+            for i in range(1, 10):
+                e0.isend(1, VirtualData(64), tag=i)
+            # Swap strategies while 9 wraps sit in the window.
+            e0.set_strategy("aggregation")
+            yield sim.all_of([r.done for r in recvs])
+
+        sim.run_process(app())
+        # The backlog left as one aggregate after the switch.
+        assert e0.stats.aggregated_packets == 1
+        assert e0.quiesced()
+
+
+class TestHeterogeneousRailsEager:
+    def test_dedicated_lists_coexist_with_common(self):
+        sim, cluster, e0, e1 = make(rails=(MX_MYRI10G, QUADRICS_QM500),
+                                    strategy="multirail")
+
+        def app():
+            recvs = [e1.irecv(src=0, tag=i) for i in range(6)]
+            e0.isend(1, VirtualData(512), tag=0, rail=0)
+            e0.isend(1, VirtualData(512), tag=1, rail=1)
+            for i in range(2, 6):
+                e0.isend(1, VirtualData(512), tag=i)  # common list
+            yield sim.all_of([r.done for r in recvs])
+
+        sim.run_process(app())
+        sent = [nic.frames_sent for nic in cluster.node(0).nics]
+        assert all(s >= 1 for s in sent)
+        assert e0.stats.eager_bytes == 6 * 512
+
+
+class TestReprs:
+    def test_debug_reprs_do_not_crash(self):
+        sim, _, e0, e1 = make()
+        req = e0.isend(1, b"x")
+        rreq = e1.irecv(src=0)
+        for obj in (e0, req, rreq, req.wrap, e0.window, e0.strategy,
+                    e0.node, e0.node.nic()):
+            assert repr(obj)
+        sim.run()

@@ -1,0 +1,199 @@
+"""Focused tests for the transfer layer (idle pull, kick, costs, errors)."""
+
+import pytest
+
+from repro.core import EngineParams, NmadEngine, VirtualData
+from repro.errors import ProtocolError
+from repro.netsim import Cluster, GM_MYRINET, MX_MYRI10G, QUADRICS_QM500
+from repro.netsim.frames import Frame
+from repro.sim import Simulator, Tracer
+
+
+def make(rails=(MX_MYRI10G,), **kw):
+    sim = Simulator()
+    cluster = Cluster(sim, rails=rails)
+    e0 = NmadEngine(cluster.node(0), **kw)
+    e1 = NmadEngine(cluster.node(1), **kw)
+    return sim, cluster, e0, e1
+
+
+class TestPullMachinery:
+    def test_submit_to_idle_nic_sends_immediately(self):
+        sim, _, e0, e1 = make()
+
+        def app():
+            e1.irecv(src=0)
+            req = e0.isend(1, b"now")
+            yield req.done
+            return sim.now
+
+        # One small packet: completes within a few microseconds — no
+        # accumulation delay was inserted while the NIC was idle.
+        assert sim.run_process(app()) < 3.0
+
+    def test_requests_accumulate_only_while_nic_busy(self):
+        sim, _, e0, e1 = make()
+
+        def app():
+            recvs = [e1.irecv(src=0, tag=i) for i in range(3)]
+            # First send occupies the NIC...
+            e0.isend(1, VirtualData(20_000), tag=0)
+            yield sim.timeout(0.5)  # NIC now busy with #0
+            # ...the next two arrive while it is busy and must coalesce.
+            e0.isend(1, VirtualData(64), tag=1)
+            e0.isend(1, VirtualData(64), tag=2)
+            yield sim.all_of([r.done for r in recvs])
+
+        sim.run_process(app())
+        assert e0.stats.phys_packets == 2
+        assert e0.stats.aggregated_packets == 1
+
+    def test_kick_is_idempotent_per_rail(self):
+        sim, _, e0, e1 = make()
+
+        def app():
+            e1.irecv(src=0)
+            req = e0.isend(1, b"x")
+            # Extra kicks while a pull is already scheduled must be no-ops.
+            e0.transfer.kick()
+            e0.transfer.kick()
+            yield req.done
+
+        sim.run_process(app())
+        assert e0.stats.phys_packets == 1
+
+    def test_sent_wraps_recorded_for_dependencies(self):
+        sim, _, e0, e1 = make()
+
+        def app():
+            e1.irecv(src=0)
+            req = e0.isend(1, b"first")
+            yield req.done
+            return req.wrap.wrap_id
+
+        wrap_id = sim.run_process(app())
+        assert wrap_id in e0.transfer.sent_wraps
+
+    def test_dedicated_rail_served_by_its_nic_only(self):
+        sim, cluster, e0, e1 = make(rails=(MX_MYRI10G, QUADRICS_QM500))
+
+        def app():
+            e1.irecv(src=0, tag=0)
+            req = e0.isend(1, b"pinned", tag=0, rail=1)
+            yield req.done
+
+        sim.run_process(app())
+        assert cluster.node(0).nics[0].frames_sent == 0
+        assert cluster.node(0).nics[1].frames_sent == 1
+
+
+class TestCosts:
+    def test_pull_cost_on_critical_path(self):
+        def one_way(pull_cost):
+            params = EngineParams(pull_cost_us=pull_cost)
+            sim, _, e0, e1 = make(params=params)
+
+            def app():
+                e1.irecv(src=0)
+                req = e0.isend(1, b"x")
+                yield req.done
+                return sim.now
+
+            return sim.run_process(app())
+
+        assert one_way(2.0) == pytest.approx(one_way(0.0) + 2.0)
+
+    def test_per_mtu_cost_scales_with_frames(self):
+        def one_way(cost):
+            params = EngineParams(
+                per_mtu_cost_us=cost,
+                per_mtu_cost_by_tech=(),  # force the generic constant
+            )
+            sim, _, e0, e1 = make(params=params)
+
+            def app():
+                req = e1.irecv(src=0)
+                e0.isend(1, VirtualData(16 * 1024))  # 4 MTUs of 4KB
+                yield req.done
+                return sim.now
+
+            return sim.run_process(app())
+
+        delta = one_way(1.0) - one_way(0.0)
+        assert delta == pytest.approx(5.0)  # ceil(16K+hdr / 4K) = 5 frames
+
+    def test_gather_cost_charged_only_without_gs(self):
+        # Same profile with and without gather/scatter; identical wire
+        # timing, so the delta is exactly the staging copies.
+        def burst(profile):
+            sim, _, e0, e1 = make(rails=(profile,))
+
+            def app():
+                recvs = [e1.irecv(src=0, tag=i) for i in range(8)]
+                for i in range(8):
+                    e0.isend(1, VirtualData(512), tag=i)
+                yield sim.all_of([r.done for r in recvs])
+                return sim.now
+
+            return sim.run_process(app())
+
+        with_gs = burst(GM_MYRINET.with_overrides(gather_scatter=True))
+        without = burst(GM_MYRINET)
+        assert without > with_gs
+
+    def test_single_segment_never_pays_gather(self):
+        # One segment is a direct injection even without gather/scatter.
+        sim, _, e0, e1 = make(rails=(GM_MYRINET,))
+
+        def app():
+            e1.irecv(src=0)
+            req = e0.isend(1, VirtualData(512))
+            yield req.done
+            return sim.now
+
+        t = sim.run_process(app())
+        # Pure wire time + constants; staging 512B at 900MB/s would add
+        # ~0.65us, so assert we are under the with-copy bound.
+        p = GM_MYRINET
+        base = (p.send_overhead_us + (512 + 32) / p.bandwidth_mbps
+                + p.latency_us + p.recv_overhead_us)
+        assert t < base + 2.5
+
+
+class TestReceivePath:
+    def test_foreign_frame_rejected(self):
+        sim, cluster, e0, e1 = make()
+        frame = Frame(src_node=0, dst_node=1, kind="alien", wire_size=10,
+                      payload={"not": "a PhysPacket"}, payload_size=0)
+        cluster.node(0).nic().post_send(frame)
+        with pytest.raises(ProtocolError, match="non-engine frame"):
+            sim.run()
+
+    def test_demux_cost_delays_completion(self):
+        def one_way(demux):
+            params = EngineParams(demux_packet_cost_us=demux,
+                                  demux_item_cost_us=0.0)
+            sim, _, e0, e1 = make(params=params)
+
+            def app():
+                r = e1.irecv(src=0)
+                e0.isend(1, b"x")
+                yield r.done
+                return sim.now
+
+            return sim.run_process(app())
+
+        assert one_way(3.0) == pytest.approx(one_way(0.0) + 3.0)
+
+    def test_stats_wire_bytes_include_headers(self):
+        sim, _, e0, e1 = make()
+
+        def app():
+            r = e1.irecv(src=0)
+            e0.isend(1, VirtualData(100))
+            yield r.done
+
+        sim.run_process(app())
+        # global (16) + seg header (16) + payload (100)
+        assert e0.stats.wire_bytes == 132
+        assert e0.stats.eager_bytes == 100

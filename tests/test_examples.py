@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs green and prints its story.
+
+Examples are part of the public API surface; these tests keep them from
+rotting.  Each runs in a subprocess exactly as a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["Received messages", "1 physical packet"],
+    "rpc_priority.py": ["service id", "earlier"],
+    "multirail_transfer.py": ["both rails (split)", "Per-rail bytes"],
+    "mpi_datatype_exchange.py": ["MAD-MPI gain over MPICH", "zero-copy"],
+    "custom_strategy.py": ["smallest_first", "delivery order"],
+    "compute_overlap.py": ["overlapped sends", "Overlap hid"],
+    "trace_timeline.py": ["trace events", "indexed datatype"],
+}
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MARKERS))
+def test_example_runs_clean(name, tmp_path):
+    args = [str(tmp_path / "out.json")] if name == "trace_timeline.py" else []
+    result = run_example(name, *args)
+    assert result.returncode == 0, result.stderr
+    for marker in EXPECTED_MARKERS[name]:
+        assert marker in result.stdout, (
+            f"{name}: expected {marker!r} in output:\n{result.stdout}"
+        )
+
+
+def test_figure_preview_quick():
+    # The heaviest example: full-figure preview with coarse sweeps.
+    result = run_example("figure_preview.py")
+    assert result.returncode == 0, result.stderr
+    for marker in ("Figure 2(a/b)", "Figure 3a", "Figure 4a", "peak gain"):
+        assert marker in result.stdout
+
+
+def test_examples_directory_is_covered():
+    # Every example on disk has a smoke test above.
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(EXPECTED_MARKERS) | {"figure_preview.py"}
+    assert on_disk == covered, (
+        f"uncovered examples: {on_disk - covered}; "
+        f"stale entries: {covered - on_disk}"
+    )

@@ -1,0 +1,138 @@
+"""Failure injection: losses must surface loudly, never silently corrupt.
+
+NewMadeleine targets reliable system-area networks and performs no
+retransmission — so the correct behaviour under an injected frame drop is a
+*visible* failure: conservation checks fail, requests stay incomplete
+(deadlock detection fires), and later traffic on the same stream parks on
+the sequence gap.  Corrupted-but-complete results would be a bug.
+"""
+
+import pytest
+
+from repro.core import NmadEngine, VirtualData
+from repro.errors import SimulationError
+from repro.netsim import Cluster, MX_MYRI10G
+from repro.sim import Simulator
+
+
+def make_pair_with_drops(drop_frame_ids=(), drop_nth=None):
+    sim = Simulator()
+    cluster = Cluster(sim, rails=(MX_MYRI10G,))
+    counter = {"n": 0}
+
+    def injector(frame):
+        counter["n"] += 1
+        if drop_nth is not None and counter["n"] == drop_nth:
+            return True
+        return frame.frame_id in drop_frame_ids
+
+    # Install the injector on node0 -> node1 links only.
+    for link in cluster.links:
+        if link.src.node_id == 0:
+            link.fault_injector = injector
+    e0 = NmadEngine(cluster.node(0))
+    e1 = NmadEngine(cluster.node(1))
+    return sim, cluster, e0, e1
+
+
+class TestDropVisibility:
+    def test_dropped_eager_frame_deadlocks_not_corrupts(self):
+        sim, cluster, e0, e1 = make_pair_with_drops(drop_nth=1)
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            e0.isend(1, b"doomed", tag=0)
+            yield req.done
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_process(app())
+        assert not cluster.conservation_ok()
+        assert cluster.links[0].frames_dropped == 1
+
+    def test_later_traffic_parks_behind_the_gap(self):
+        sim, cluster, e0, e1 = make_pair_with_drops(drop_nth=1)
+
+        def app():
+            r0 = e1.irecv(src=0, tag=0)
+            r1 = e1.irecv(src=0, tag=1)
+            e0.isend(1, b"lost", tag=0)
+            yield sim.timeout(5.0)     # let the loss happen
+            e0.isend(1, b"after", tag=1)
+            yield sim.timeout(50.0)
+            return r0.complete, r1.complete
+
+        r0_done, r1_done = sim.run_process(app())
+        assert not r0_done
+        # Sequence parking holds the later message: in-order delivery is
+        # never violated, even at the price of stalling.
+        assert not r1_done
+        assert e1.matcher.n_parked == 1
+
+    def test_dropped_rdv_ack_stalls_sender_visibly(self):
+        # Drop the 1st frame from node1 (the ACK direction).
+        sim = Simulator()
+        cluster = Cluster(sim, rails=(MX_MYRI10G,))
+        dropped = {"n": 0}
+
+        def injector(frame):
+            dropped["n"] += 1
+            return dropped["n"] == 1
+
+        for link in cluster.links:
+            if link.src.node_id == 1:
+                link.fault_injector = injector
+        e0 = NmadEngine(cluster.node(0))
+        e1 = NmadEngine(cluster.node(1))
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, VirtualData(100_000), tag=0)
+            yield sim.timeout(200.0)
+            return sreq.complete, req.complete
+
+        s_done, r_done = sim.run_process(app())
+        assert not s_done and not r_done
+        assert e0.rendezvous.n_pending == 1   # grant never arrived
+        assert not e0.quiesced()
+
+    def test_unaffected_streams_continue(self):
+        # A loss on one flow must not block an independent source stream.
+        sim = Simulator()
+        cluster = Cluster(sim, n_nodes=3, rails=(MX_MYRI10G,))
+        first = {"seen": False}
+
+        def injector(frame):
+            if not first["seen"]:
+                first["seen"] = True
+                return True
+            return False
+
+        for link in cluster.links:
+            if link.src.node_id == 0 and link.dst.node_id == 1:
+                link.fault_injector = injector
+        engines = [NmadEngine(cluster.node(i)) for i in range(3)]
+
+        def app():
+            lost = engines[1].irecv(src=0, tag=0)
+            ok = engines[1].irecv(src=2, tag=0)
+            engines[0].isend(1, b"lost", tag=0)
+            engines[2].isend(1, b"fine", tag=0)
+            yield ok.done
+            return lost.complete, ok.data.tobytes()
+
+        lost_done, ok_data = sim.run_process(app())
+        assert not lost_done
+        assert ok_data == b"fine"
+
+    def test_no_injector_means_no_drops(self):
+        sim, cluster, e0, e1 = make_pair_with_drops()
+
+        def app():
+            req = e1.irecv(src=0)
+            e0.isend(1, b"safe")
+            yield req.done
+            return req
+
+        req = sim.run_process(app())
+        assert req.data.tobytes() == b"safe"
+        assert cluster.conservation_ok()

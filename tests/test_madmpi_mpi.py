@@ -1,0 +1,222 @@
+"""Integration tests for MAD-MPI (isend/irecv/wait/test, comms, datatypes)."""
+
+import pytest
+
+from repro.core import NmadEngine, VirtualData
+from repro.errors import MpiError
+from repro.madmpi import (
+    ANY,
+    Communicator,
+    Contiguous,
+    Indexed,
+    MadMpi,
+    indexed_small_large,
+)
+from repro.netsim import Cluster, MX_MYRI10G
+from repro.sim import Simulator
+
+
+def make_mpi_pair(strategy="aggregation", rails=(MX_MYRI10G,)):
+    sim = Simulator()
+    cluster = Cluster(sim, n_nodes=2, rails=rails)
+    world = Communicator([0, 1])
+    mpis = [
+        MadMpi(NmadEngine(cluster.node(i), strategy=strategy), world)
+        for i in range(2)
+    ]
+    return sim, world, mpis
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+
+        def app():
+            m0.isend(b"payload", dest=1, tag=3)
+            req = yield from m1.recv(source=0, tag=3)
+            return req
+
+        req = sim.run_process(app())
+        assert req.data.tobytes() == b"payload"
+        assert req.source == 0
+        assert req.tag == 3
+        assert req.count == 7
+
+    def test_wait_and_test(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+
+        def app():
+            rreq = m1.irecv(source=0)
+            sreq = m0.isend(b"x", dest=1)
+            assert not MadMpi.test(rreq)
+            yield from m1.wait(rreq)
+            assert MadMpi.test(rreq)
+            yield from m0.wait(sreq)
+            return rreq
+
+        req = sim.run_process(app())
+        assert req.complete
+
+    def test_wait_all(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+
+        def app():
+            recvs = [m1.irecv(source=0, tag=i) for i in range(5)]
+            for i in range(5):
+                m0.isend(bytes([i]), dest=1, tag=i)
+            done = yield from m1.wait_all(recvs)
+            return done
+
+        done = sim.run_process(app())
+        assert [r.data.tobytes() for r in done] == [bytes([i]) for i in range(5)]
+
+    def test_any_source_status_reports_rank(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+
+        def app():
+            m0.isend(b"hi", dest=1, tag=9)
+            req = yield from m1.recv(source=ANY, tag=ANY)
+            return req
+
+        req = sim.run_process(app())
+        assert req.source == 0 and req.tag == 9
+
+    def test_bad_rank_rejected(self):
+        _, _, (m0, _) = make_mpi_pair()
+        with pytest.raises(MpiError, match="rank"):
+            m0.isend(b"x", dest=5)
+
+
+class TestCommunicators:
+    def test_comm_isolation(self):
+        sim, world, (m0, m1) = make_mpi_pair()
+        other = world.dup()
+
+        def app():
+            # Same (source, tag) on two communicators must not cross-match.
+            r_world = m1.irecv(source=0, tag=1, comm=world)
+            r_other = m1.irecv(source=0, tag=1, comm=other)
+            m0.isend(b"on-other", dest=1, tag=1, comm=other)
+            yield r_other.done
+            assert not r_world.complete
+            m0.isend(b"on-world", dest=1, tag=1, comm=world)
+            yield r_world.done
+            return r_world, r_other
+
+        r_world, r_other = sim.run_process(app())
+        assert r_other.data.tobytes() == b"on-other"
+        assert r_world.data.tobytes() == b"on-world"
+
+    def test_cross_communicator_aggregation(self):
+        # The paper's point: optimization scope is global even though
+        # matching is per-communicator (§5.2).
+        sim, world, (m0, m1) = make_mpi_pair()
+        comms = [world.dup() for _ in range(8)]
+
+        def app():
+            recvs = [m1.irecv(source=0, comm=c) for c in comms]
+            for c in comms:
+                m0.isend(VirtualData(64), dest=1, comm=c)
+            yield sim.all_of([r.done for r in recvs])
+
+        sim.run_process(app())
+        assert m0.engine.stats.phys_packets == 1
+        assert m0.engine.stats.aggregated_segments == 8
+
+    def test_dup_gets_fresh_id(self):
+        world = Communicator([0, 1])
+        assert world.dup().id != world.id
+
+    def test_comm_validation(self):
+        with pytest.raises(MpiError):
+            Communicator([])
+        with pytest.raises(MpiError):
+            Communicator([0, 0])
+        world = Communicator([0, 1])
+        with pytest.raises(MpiError):
+            world.node_of(2)
+        with pytest.raises(MpiError):
+            world.rank_of(9)
+
+
+class TestDatatypes:
+    def test_typed_roundtrip_scatters_correctly(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+        dtype = Indexed([3, 5], [0, 6])
+        send_buf = bytes(range(dtype.extent))
+
+        def app():
+            rreq = m1.irecv(source=0, tag=1, datatype=dtype)
+            m0.isend(send_buf, dest=1, tag=1, datatype=dtype)
+            yield rreq.done
+            return rreq
+
+        rreq = sim.run_process(app())
+        out = bytearray(b"\xee" * dtype.extent)
+        rreq.scatter_into(out)
+        for disp, length in dtype.flatten():
+            assert out[disp:disp + length] == send_buf[disp:disp + length]
+        # Gap bytes untouched.
+        assert out[3] == 0xEE
+
+    def test_typed_send_generates_per_block_requests(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+        dtype = indexed_small_large(repeats=1, small=16, large=64, gap=8)
+
+        def app():
+            rreq = m1.irecv(source=0, datatype=dtype)
+            m0.isend(VirtualData(dtype.extent), dest=1, datatype=dtype)
+            yield rreq.done
+            return rreq
+
+        rreq = sim.run_process(app())
+        assert len(rreq.block_data) == 2
+        assert rreq.count == dtype.size
+
+    def test_fig4_datatype_zero_copy_for_large_blocks(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+        dtype = indexed_small_large(repeats=2)
+
+        def app():
+            rreq = m1.irecv(source=0, datatype=dtype)
+            m0.isend(VirtualData(dtype.extent), dest=1, datatype=dtype)
+            yield rreq.done
+
+        sim.run_process(app())
+        # Two large blocks went rendezvous (zero-copy)...
+        assert m0.engine.rendezvous.handshakes == 2
+        assert m0.engine.stats.rdv_bytes == 2 * 256 * 1024
+        # ...and the receive side copied only the two small 64B blocks.
+        assert m1.engine.stats.recv_copy_bytes == 2 * 64
+
+    def test_empty_datatype_rejected(self):
+        _, _, (m0, m1) = make_mpi_pair()
+        empty = Contiguous(0)
+        with pytest.raises(MpiError):
+            m0.isend(b"", dest=1, datatype=empty)
+        with pytest.raises(MpiError):
+            m1.irecv(source=0, datatype=empty)
+
+    def test_block_exceeding_buffer_rejected(self):
+        _, _, (m0, _) = make_mpi_pair()
+        dtype = Contiguous(100)
+        with pytest.raises(MpiError, match="exceeds"):
+            m0.isend(b"short", dest=1, datatype=dtype)
+
+    def test_scatter_before_completion_rejected(self):
+        _, _, (_, m1) = make_mpi_pair()
+        req = m1.irecv(source=0, datatype=Contiguous(4))
+        with pytest.raises(MpiError):
+            req.scatter_into(bytearray(4))
+
+    def test_scatter_on_untyped_rejected(self):
+        sim, _, (m0, m1) = make_mpi_pair()
+
+        def app():
+            m0.isend(b"abcd", dest=1)
+            req = yield from m1.recv(source=0)
+            return req
+
+        req = sim.run_process(app())
+        with pytest.raises(MpiError, match="untyped"):
+            req.scatter_into(bytearray(4))

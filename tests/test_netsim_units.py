@@ -1,0 +1,153 @@
+"""Unit tests for repro.netsim.units and repro.netsim.memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim import KB, MB, format_size, log2_size_sweep, parse_size, wire_time_us
+from repro.netsim.memory import MemoryModel
+from repro.netsim.units import bytes_per_us_to_mbps, mbps_to_bytes_per_us
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4", 4),
+            ("0", 0),
+            ("64", 64),
+            ("1K", KB),
+            ("32K", 32 * KB),
+            ("256k", 256 * KB),
+            ("1M", MB),
+            ("2M", 2 * MB),
+            ("4KB", 4 * KB),
+            ("8B", 8),
+            (" 16K ", 16 * KB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    @pytest.mark.parametrize("bad", ["", "K", "4X", "-4", "4.5K"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(4, "4"), (512, "512"), (KB, "1K"), (32 * KB, "32K"), (MB, "1M"),
+         (2 * MB, "2M"), (1536, "1536"), (0, "0")],
+    )
+    def test_format(self, nbytes, expected):
+        assert format_size(nbytes) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_roundtrip(self, nbytes):
+        assert parse_size(format_size(nbytes)) == nbytes
+
+
+class TestBandwidth:
+    def test_wire_time_scales_linearly(self):
+        assert wire_time_us(1000, 1000.0) == pytest.approx(1.0)
+        assert wire_time_us(2000, 1000.0) == pytest.approx(2.0)
+
+    def test_wire_time_zero_bytes(self):
+        assert wire_time_us(0, 1250.0) == 0.0
+
+    def test_wire_time_bad_args(self):
+        with pytest.raises(ValueError):
+            wire_time_us(-1, 100.0)
+        with pytest.raises(ValueError):
+            wire_time_us(1, 0.0)
+
+    def test_mbps_conversion_identity(self):
+        assert mbps_to_bytes_per_us(1250.0) == 1250.0
+        assert bytes_per_us_to_mbps(910.0) == 910.0
+
+    def test_conversions_reject_negative(self):
+        with pytest.raises(ValueError):
+            mbps_to_bytes_per_us(-1)
+        with pytest.raises(ValueError):
+            bytes_per_us_to_mbps(-1)
+
+
+class TestLog2Sweep:
+    def test_paper_fig2_axis(self):
+        sizes = log2_size_sweep("4", "2M")
+        assert sizes[0] == 4
+        assert sizes[-1] == 2 * MB
+        assert len(sizes) == 20
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 2 * a
+
+    def test_single_point(self):
+        assert log2_size_sweep("8", "8") == [8]
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            log2_size_sweep("16", "8")
+        with pytest.raises(ValueError):
+            log2_size_sweep("3", "12")
+
+
+class TestMemoryModel:
+    def test_copy_time_proportional_to_size(self):
+        mem = MemoryModel(copy_bandwidth_mbps=1000.0, per_call_overhead_us=0.0)
+        assert mem.copy_time(1000) == pytest.approx(1.0)
+        assert mem.copy_time(2000) == pytest.approx(2.0)
+
+    def test_per_call_overhead(self):
+        mem = MemoryModel(copy_bandwidth_mbps=1000.0, per_call_overhead_us=0.5)
+        assert mem.copy_time(0, calls=4) == pytest.approx(2.0)
+
+    def test_pack_time_counts_one_call_per_block(self):
+        mem = MemoryModel(copy_bandwidth_mbps=1000.0, per_call_overhead_us=0.1)
+        blocks = [64, 64, 64, 64]
+        assert mem.pack_time(blocks) == pytest.approx(256 / 1000.0 + 0.4)
+
+    def test_unpack_is_symmetric(self):
+        mem = MemoryModel()
+        blocks = [64, 256 * KB]
+        assert mem.unpack_time(blocks) == mem.pack_time(blocks)
+
+    def test_many_small_blocks_cost_more_than_one_large(self):
+        # The effect that justifies MPICH's pack for small datatypes.
+        mem = MemoryModel()
+        total = 4 * KB
+        many = mem.pack_time([64] * (total // 64))
+        one = mem.pack_time([total])
+        assert many > one
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(copy_bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            MemoryModel(per_call_overhead_us=-1)
+        mem = MemoryModel()
+        with pytest.raises(ValueError):
+            mem.copy_time(-5)
+        with pytest.raises(ValueError):
+            mem.copy_time(5, calls=-1)
+        with pytest.raises(ValueError):
+            mem.pack_time([10, -1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=MB), min_size=1, max_size=50))
+    def test_pack_time_monotone_in_blocks(self, blocks):
+        mem = MemoryModel()
+        t_all = mem.pack_time(blocks)
+        t_head = mem.pack_time(blocks[:-1])
+        assert t_all >= t_head

@@ -1,0 +1,104 @@
+"""Property-based tests for the discrete-event kernel itself."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+
+@st.composite
+def schedules(draw):
+    """A random batch of (delay, payload) work items."""
+    n = draw(st.integers(1, 40))
+    return [
+        (draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+         draw(st.integers(0, 1_000)))
+        for _ in range(n)
+    ]
+
+
+class TestKernelProperties:
+    @given(schedules())
+    def test_callbacks_fire_in_time_order(self, items):
+        sim = Simulator()
+        fired = []
+        for delay, payload in items:
+            sim.schedule(delay, lambda d=delay, p=payload: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(items)
+
+    @given(schedules())
+    def test_equal_times_resolve_in_scheduling_order(self, items):
+        sim = Simulator()
+        fired = []
+        # Everything at the same timestamp: insertion order must hold.
+        for idx, (_, payload) in enumerate(items):
+            sim.schedule(5.0, lambda i=idx: fired.append(i))
+        sim.run()
+        assert fired == list(range(len(items)))
+
+    @given(schedules())
+    def test_deterministic_replay(self, items):
+        def run():
+            sim = Simulator()
+            log = []
+            for delay, payload in items:
+                sim.schedule(delay, lambda d=delay, p=payload:
+                             log.append((sim.now, p)))
+            sim.run()
+            return log
+
+        assert run() == run()
+
+    @given(schedules(), st.floats(min_value=0.0, max_value=100.0,
+                                  allow_nan=False))
+    def test_run_until_is_a_prefix(self, items, horizon):
+        def run(until):
+            sim = Simulator()
+            log = []
+            for delay, payload in items:
+                sim.schedule(delay, lambda p=payload: log.append(p))
+            sim.run(until=until)
+            sim.run()
+            return log
+
+        full = run(None)
+        split = run(horizon)
+        assert split == full
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=20))
+    def test_process_timeouts_accumulate(self, delays):
+        sim = Simulator()
+
+        def proc():
+            for d in delays:
+                yield sim.timeout(d)
+            return sim.now
+
+        total = sim.run_process(proc())
+        assert total == pytest.approx(sum(delays))
+
+    @given(st.integers(2, 30))
+    def test_all_of_completion_time_is_max(self, n):
+        sim = Simulator()
+        timeouts = [sim.timeout(float(i)) for i in range(n)]
+
+        def proc():
+            yield sim.all_of(timeouts)
+            return sim.now
+
+        assert sim.run_process(proc()) == float(n - 1)
+
+    @given(st.integers(2, 30))
+    def test_any_of_completion_time_is_min(self, n):
+        sim = Simulator()
+        timeouts = [sim.timeout(float(i + 1)) for i in range(n)]
+
+        def proc():
+            yield sim.any_of(timeouts)
+            return sim.now
+
+        assert sim.run_process(proc()) == 1.0

@@ -1,0 +1,67 @@
+"""Unit tests for the tracer (repro.sim.trace)."""
+
+from repro.sim import Tracer
+from repro.sim.trace import TraceRecord
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tr = Tracer()
+        tr.emit(1.0, "nic", "tx_start", size=4)
+        assert len(tr) == 0
+
+    def test_enabled_captures_records(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.0, "nic0", "tx_start", size=4)
+        tr.emit(2.0, "nic0", "tx_done", size=4)
+        assert len(tr) == 2
+        assert tr.records[0].kind == "tx_start"
+        assert tr.records[1].time == 2.0
+
+    def test_filter_predicate(self):
+        tr = Tracer(enabled=True, filter=lambda r: r.kind == "rx")
+        tr.emit(1.0, "a", "tx")
+        tr.emit(2.0, "a", "rx")
+        assert [r.kind for r in tr] == ["rx"]
+
+    def test_sink_bypasses_storage(self):
+        seen = []
+        tr = Tracer(enabled=True, sink=seen.append)
+        tr.emit(3.0, "x", "k")
+        assert len(tr.records) == 0
+        assert len(seen) == 1 and seen[0].time == 3.0
+
+    def test_of_kind_and_from_source(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.0, "node0.nic.mx0", "tx")
+        tr.emit(2.0, "node1.nic.mx0", "tx")
+        tr.emit(3.0, "node0.sched", "pull")
+        assert len(tr.of_kind("tx")) == 2
+        assert len(tr.from_source("node0")) == 2
+
+    def test_clear(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.0, "a", "k")
+        tr.clear()
+        assert len(tr) == 0
+
+    def test_str_and_dump(self):
+        tr = Tracer(enabled=True)
+        tr.emit(1.5, "src", "kind", a=1, b="x")
+        text = tr.dump()
+        assert "src" in text and "kind" in text and "a=1" in text
+
+    def test_record_is_frozen(self):
+        rec = TraceRecord(time=0.0, source="s", kind="k")
+        try:
+            rec.time = 5.0  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_dump_limit(self):
+        tr = Tracer(enabled=True)
+        for i in range(10):
+            tr.emit(float(i), "s", "k")
+        assert tr.dump(limit=3).count("\n") == 2

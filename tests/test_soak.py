@@ -1,0 +1,106 @@
+"""Soak tests: sustained mixed traffic across every axis at once.
+
+One long deterministic run per configuration — thousands of messages,
+several flows, eager and rendezvous sizes, both directions, cancellations
+sprinkled in — asserting global invariants at the end.  These complement
+the hypothesis tests (many small random cases) with a few deep ones.
+"""
+
+import random
+
+import pytest
+
+from repro.core import EngineParams, NmadEngine, VirtualData
+from repro.errors import MpiError
+from repro.netsim import Cluster, MX_MYRI10G, QUADRICS_QM500
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize("strategy,rails", [
+    ("aggregation", (MX_MYRI10G,)),
+    ("adaptive", (MX_MYRI10G,)),
+    ("multirail", (MX_MYRI10G, QUADRICS_QM500)),
+])
+def test_bidirectional_soak(strategy, rails):
+    n_msgs = 400
+    sim = Simulator()
+    cluster = Cluster(sim, rails=rails)
+    params = EngineParams(rdv_chunk_bytes=64 * 1024)
+    engines = [NmadEngine(cluster.node(i), strategy=strategy, params=params)
+               for i in range(2)]
+    rng = random.Random(1234)
+    plan = {}
+    for direction in (0, 1):
+        msgs = []
+        for i in range(n_msgs):
+            size = rng.choice([0, 8, 64, 1024, 8 * 1024, 100_000])
+            msgs.append((i, size))
+        plan[direction] = msgs
+
+    def sender(me):
+        peer = 1 - me
+        for i, size in plan[me]:
+            engines[me].isend(peer, VirtualData(size), tag=i)
+            if rng.random() < 0.3:
+                yield sim.timeout(rng.random() * 3.0)
+        if False:
+            yield  # pragma: no cover
+
+    def receiver(me):
+        peer = 1 - me
+        reqs = [engines[me].irecv(src=peer, tag=i, nbytes=size)
+                for i, size in plan[peer]]
+        for req, (_i, size) in zip(reqs, plan[peer]):
+            yield req.done
+            assert req.actual_len == size
+
+    sim.spawn(sender(0))
+    sim.spawn(sender(1))
+    sim.spawn(receiver(0))
+    sim.run_process(receiver(1))
+    sim.run()
+    assert cluster.conservation_ok()
+    for engine in engines:
+        assert engine.quiesced()
+    total = sum(size for _i, size in plan[0])
+    assert engines[0].stats.eager_bytes + engines[0].stats.rdv_bytes == total
+
+
+def test_soak_with_cancellations():
+    n_msgs = 300
+    sim = Simulator()
+    cluster = Cluster(sim, rails=(MX_MYRI10G,))
+    e0 = NmadEngine(cluster.node(0))
+    e1 = NmadEngine(cluster.node(1))
+    rng = random.Random(77)
+    outcomes = {"sent": 0, "cancelled": 0}
+
+    def sender():
+        for i in range(n_msgs):
+            req = e0.isend(1, VirtualData(256), tag=i)
+            if rng.random() < 0.25 and e0.cancel(req):
+                outcomes["cancelled"] += 1
+                req.done.defuse()
+            else:
+                outcomes["sent"] += 1
+            if rng.random() < 0.2:
+                yield sim.timeout(rng.random())
+
+    sim.spawn(sender())
+    sim.run()
+    assert outcomes["sent"] + outcomes["cancelled"] == n_msgs
+    assert outcomes["cancelled"] > 0
+
+    # The receiver does not know which sends were cancelled: it simply
+    # receives whatever actually arrived; exactly the surviving messages
+    # (and none of the tombstones) are matchable.
+    def drain():
+        received = 0
+        while received < outcomes["sent"]:
+            yield from e1.recv(src=0)
+            received += 1
+        return received
+
+    assert sim.run_process(drain()) == outcomes["sent"]
+    assert e1.matcher.n_unexpected == 0
+    assert e0.quiesced() and e1.quiesced()
