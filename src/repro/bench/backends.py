@@ -24,7 +24,6 @@ from repro.core import EngineParams, NmadEngine
 from repro.errors import ReproError
 from repro.madmpi import Communicator, MadMpi
 from repro.netsim import Cluster, NicProfile
-from repro.netsim.profiles import QUADRICS_QM500
 from repro.sim import Simulator, Tracer
 
 __all__ = ["BackendPair", "make_backend_pair", "BACKENDS", "backend_label"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
-from repro.bench.report import Series, find_series, gain_percent
+from repro.bench.report import find_series, gain_percent
 from repro.bench.sweeps import run_figure2, run_figure3, run_figure4
 from repro.netsim import KB, MB, MX_MYRI10G, QUADRICS_QM500
 

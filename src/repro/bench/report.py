@@ -9,7 +9,7 @@ faster", "a gain of about 70 %").  Gain is ``(t_base - t_mad) / t_base``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.errors import ReproError
 from repro.netsim.units import format_size

@@ -11,7 +11,7 @@ from repro.bench.pingpong import (
     pingpong_single,
 )
 from repro.bench.report import Series
-from repro.netsim import MX_MYRI10G, QUADRICS_QM500, NicProfile
+from repro.netsim import QUADRICS_QM500, NicProfile
 from repro.netsim.units import log2_size_sweep
 
 __all__ = [

@@ -58,6 +58,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profiles", help="list calibrated NIC profiles")
     sub.add_parser("validate",
                    help="measure every paper claim and print PASS/FAIL")
+
+    report = sub.add_parser(
+        "report",
+        help="replay a demo workload and print engine/NIC/fault statistics")
+    report.add_argument("--reliability", choices=("off", "ack"),
+                        default="off",
+                        help="transport reliability mode (default: off, "
+                             "the paper's no-retransmission engine)")
+    report.add_argument("--rails", type=int, choices=(1, 2), default=1,
+                        help="1 = MX only; 2 = MX + Quadrics multirail")
+    report.add_argument("--messages", type=int, default=40,
+                        help="number of random messages to replay")
+    report.add_argument("--seed", type=int, default=0,
+                        help="traffic generator seed")
+    report.add_argument("--drop-nth", type=int, action="append", default=[],
+                        metavar="N",
+                        help="drop the Nth frame on the node0->node1 rail0 "
+                             "link (repeatable)")
+    report.add_argument("--link-down-at", type=float, default=None,
+                        metavar="US",
+                        help="take the node0->node1 link of the last rail "
+                             "permanently down at this time (us)")
     return parser
 
 
@@ -130,6 +152,71 @@ def _profiles(out) -> None:
         ))
 
 
+def _report(args, out) -> int:
+    import dataclasses
+
+    from repro.bench.backends import make_backend_pair
+    from repro.bench.workloads import TrafficSpec, generate_messages, replay
+    from repro.core import EngineParams
+    from repro.errors import NetworkError, SimulationError
+    from repro.netsim import FaultPlan
+    from repro.netsim.stats import (
+        cluster_utilization,
+        render_fault_summary,
+        render_utilization,
+    )
+
+    if args.messages < 1:
+        raise SystemExit("--messages must be >= 1")
+    rails = ((MX_MYRI10G,) if args.rails == 1
+             else (MX_MYRI10G, QUADRICS_QM500))
+    strategy = "aggregation" if args.rails == 1 else "multirail"
+    params = EngineParams(reliability=args.reliability)
+    pair = make_backend_pair("madmpi", rails=rails, strategy=strategy,
+                             engine_params=params)
+    if args.drop_nth or args.link_down_at is not None:
+        fault_rail = 0 if args.drop_nth else len(rails) - 1
+        try:
+            plan = FaultPlan(drop_nth=tuple(args.drop_nth),
+                             down_at_us=args.link_down_at)
+        except NetworkError as exc:
+            raise SystemExit(f"invalid fault plan: {exc}") from None
+        for link in pair.cluster.links:
+            if link.src.node_id == 0 and link.src.rail == fault_rail:
+                link.fault_plan = plan
+                break
+    spec = TrafficSpec(n_messages=args.messages, max_size=32 * KB,
+                       large_fraction=0.1, large_max=512 * KB)
+    messages = generate_messages(spec, seed=args.seed)
+    stalled = None
+    try:
+        replay(pair, messages, verify_content=True)
+        total = sum(m.size for m in messages)
+        _print(out, (f"replayed {len(messages)} messages "
+                     f"({total} payload bytes) node0 -> node1 in "
+                     f"{pair.sim.now:.1f}us [reliability={args.reliability}]"))
+    except SimulationError as exc:
+        stalled = exc
+
+    for mpi in pair.ranks:
+        engine = mpi.engine
+        lines = [f"-- engine stats: node{engine.node_id} "
+                 f"(strategy={engine.strategy.describe()}) --"]
+        for key, value in dataclasses.asdict(engine.stats).items():
+            lines.append(f"  {key:<22} {value}")
+        lines.append(f"  {'matcher_dup_dropped':<22} "
+                     f"{engine.matcher.duplicates_dropped}")
+        lines.append(f"  {'rails_ok':<22} "
+                     f"{[r for r in range(len(engine.node.nics)) if engine.reliability.rail_ok(r)]}")
+        _print(out, "\n".join(lines))
+    _print(out, render_utilization(cluster_utilization(pair.cluster)))
+    _print(out, render_fault_summary(pair.cluster))
+    if stalled is not None:
+        _print(out, f"SIMULATION STALLED: {stalled}")
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -139,6 +226,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _strategies(out)
     elif args.command == "profiles":
         _profiles(out)
+    elif args.command == "report":
+        return _report(args, out)
     elif args.command == "validate":
         from repro.bench.claims import evaluate_claims, render_verdicts
 

@@ -20,6 +20,7 @@ from repro.core.packet import (
     SegItem,
     WireItem,
 )
+from repro.core.reliability import ReliabilityLayer
 from repro.core.requests import ANY, RecvRequest, SendRequest
 from repro.core.strategies import (
     AdaptiveStrategy,
@@ -60,6 +61,7 @@ __all__ = [
     "RdvDataItem",
     "RdvReqItem",
     "RecvRequest",
+    "ReliabilityLayer",
     "SchedulingContext",
     "SegItem",
     "SegmentData",

@@ -59,10 +59,16 @@ class Matcher:
         on_match: Callable[[Incoming, RecvRequest], None],
         tracer: Optional[Tracer] = None,
         name: str = "matcher",
+        dedup: bool = False,
     ) -> None:
         self._on_match = on_match
         self.tracer = tracer if tracer is not None else Tracer()
         self.name = name
+        #: With ``dedup=True`` (set by engines running the reliability
+        #: layer) a replayed sequence number is silently discarded instead
+        #: of raising: retransmission makes duplicates legitimate, and the
+        #: layer's contract is that the application never sees one.
+        self.dedup = dedup
         self._expected: dict[tuple[int, int], int] = {}
         self._parked: dict[tuple[int, int], dict[int, Incoming]] = {}
         self._posted: list[RecvRequest] = []
@@ -72,6 +78,7 @@ class Matcher:
         self.delivered = 0
         self.parked_total = 0
         self.unexpected_total = 0
+        self.duplicates_dropped = 0
 
     # -- arrivals ------------------------------------------------------------
     def deliver(self, inc: Incoming, now: float = 0.0) -> None:
@@ -80,6 +87,11 @@ class Matcher:
         key = (inc.src, inc.flow)
         expected = self._expected.get(key, 0)
         if inc.seq < expected:
+            if self.dedup:
+                self.duplicates_dropped += 1
+                self.tracer.emit(now, self.name, "dup_drop",
+                                 src=inc.src, flow=inc.flow, seq=inc.seq)
+                return
             raise ProtocolError(
                 f"{self.name}: duplicate or replayed seq {inc.seq} from "
                 f"src={inc.src} flow={inc.flow} (expected {expected})"
@@ -87,6 +99,11 @@ class Matcher:
         if inc.seq > expected:
             parked = self._parked.setdefault(key, {})
             if inc.seq in parked:
+                if self.dedup:
+                    self.duplicates_dropped += 1
+                    self.tracer.emit(now, self.name, "dup_drop",
+                                     src=inc.src, flow=inc.flow, seq=inc.seq)
+                    return
                 raise ProtocolError(
                     f"{self.name}: two deliveries for seq {inc.seq} "
                     f"(src={inc.src} flow={inc.flow})"

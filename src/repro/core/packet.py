@@ -42,17 +42,26 @@ __all__ = [
 
 @dataclass(frozen=True)
 class HeaderSpec:
-    """On-wire header byte counts for the engine's packet format."""
+    """On-wire header byte counts for the engine's packet format.
+
+    ``rel_header`` and ``checksum`` are only charged when the optional
+    reliability layer is active (``EngineParams.reliability="ack"``): every
+    sequenced frame then carries a sequence number plus a piggybacked
+    cumulative/selective acknowledgement (``rel_header``) and a payload
+    checksum used to detect corruption on arrival.
+    """
 
     global_header: int = 16   # once per physical packet
     seg_header: int = 16      # per data segment (tag, flow, seq, length)
     rdv_req: int = 24         # rendezvous announce record
     rdv_ack: int = 16         # rendezvous grant record
     rdv_data_header: int = 24 # per bulk chunk (handle, offset, length)
+    rel_header: int = 12      # reliability seq + piggybacked ack record
+    checksum: int = 4         # payload checksum (reliability mode only)
 
     def __post_init__(self) -> None:
         for f in ("global_header", "seg_header", "rdv_req", "rdv_ack",
-                  "rdv_data_header"):
+                  "rdv_data_header", "rel_header", "checksum"):
             if getattr(self, f) < 0:
                 raise ValueError(f"negative header size for {f}")
 

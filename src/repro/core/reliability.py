@@ -1,0 +1,371 @@
+"""Optional transport reliability: sliding-window ack/retransmit + failover.
+
+The real NewMadeleine targets reliable system-area networks (MX, Elan,
+SCI) and performs **no retransmission** — the default
+``EngineParams.reliability="off"`` keeps that paper-faithful behaviour,
+and every Figure 2/3/4 number is produced in that mode.  This module is
+the opt-in production-hardening layer (``reliability="ack"``) that makes
+the engine survive lossy links and failing rails:
+
+* every physical frame to a peer carries a per-peer **sequence number**
+  (``rel_header`` + ``checksum`` bytes from :class:`HeaderSpec` are added
+  to its wire size);
+* the receiver acknowledges with a **cumulative + selective** record,
+  piggybacked on any reverse frame, or as a small standalone ack frame
+  after ``rel_ack_delay_us`` of reverse silence;
+* unacked frames are kept in a per-peer send buffer and retransmitted on
+  an **exponential-backoff timer** (``rel_timeout_us`` × ``rel_backoff``
+  per retry), over the healthiest rail with a link to the peer;
+* the receive side **suppresses duplicates** before the demultiplexer, so
+  the matcher and the rendezvous reassembly never see a frame twice;
+* each retransmit timeout scores a loss against the rail the frame last
+  used; ``rel_quarantine_threshold`` consecutive losses **quarantine**
+  the rail (if another healthy rail exists) — subsequent traffic,
+  retransmits, and not-yet-carved rendezvous chunks fail over to the
+  surviving rails;
+* after ``rel_retry_budget`` retransmits a frame is declared
+  undeliverable: the affected requests fail with
+  :class:`~repro.errors.TransportError` (:class:`~repro.errors.RailDownError`
+  when the rail was quarantined) instead of stalling the simulation.
+
+Sequencing is per *peer*, not per rail, which is what makes failover
+transparent: a retransmitted frame keeps its sequence number on any rail,
+so cross-rail replays deduplicate exactly like same-rail ones.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import RailDownError, TransportError
+from repro.netsim.frames import Frame, FrameKind
+from repro.netsim.nic import Nic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import NmadEngine
+
+__all__ = ["ReliabilityLayer"]
+
+
+class _Pending:
+    """One unacknowledged frame in a peer channel's send buffer."""
+
+    __slots__ = ("seq", "frame", "cpu_gap_us", "on_delivered", "on_failed",
+                 "rail", "retries", "deadline")
+
+    def __init__(self, seq: int, frame: Frame, cpu_gap_us: float,
+                 on_delivered: Optional[Callable[[], None]],
+                 on_failed: Optional[Callable[[BaseException], None]],
+                 rail: int) -> None:
+        self.seq = seq
+        self.frame = frame
+        self.cpu_gap_us = cpu_gap_us
+        self.on_delivered = on_delivered
+        self.on_failed = on_failed
+        self.rail = rail           # rail of the most recent transmission
+        self.retries = 0
+        self.deadline: Optional[float] = None  # None while queued/in tx
+
+
+class _Channel:
+    """Both directions of the reliability state towards one peer."""
+
+    __slots__ = ("peer", "next_seq", "unacked", "rto_us", "timer_gen",
+                 "rx_cum", "rx_sacks", "ack_pending", "ack_gen")
+
+    def __init__(self, peer: int, rto_us: float) -> None:
+        self.peer = peer
+        # Transmit half.
+        self.next_seq = 0
+        self.unacked: dict[int, _Pending] = {}
+        self.rto_us = rto_us
+        self.timer_gen = 0
+        # Receive half.
+        self.rx_cum = 0                 # every seq < rx_cum was received
+        self.rx_sacks: set[int] = set() # received beyond the cumulative edge
+        self.ack_pending = False
+        self.ack_gen = 0
+
+
+class ReliabilityLayer:
+    """Per-engine ack/retransmit protocol and rail-health tracking.
+
+    In ``"off"`` mode every call degrades to a thin pass-through around
+    :meth:`Nic.post_send` with identical timing, so the default engine is
+    byte-for-byte and microsecond-for-microsecond the paper's.
+    """
+
+    def __init__(self, engine: "NmadEngine") -> None:
+        self.engine = engine
+        self.sim = engine.sim
+        self.params = engine.params
+        self.nics = list(engine.node.nics)
+        self.mode = engine.params.reliability
+        self._channels: dict[int, _Channel] = {}
+        #: Rails the health tracker has taken out of service.
+        self.quarantined: set[int] = set()
+        #: Consecutive retransmit-timeouts per rail (reset on any ack).
+        self.rail_losses: dict[int, int] = {}
+        self._name = f"node{engine.node_id}.reliability"
+
+    # -- introspection ------------------------------------------------------
+    def rail_ok(self, rail: int) -> bool:
+        """May the transfer layer still schedule work on this rail?"""
+        return rail not in self.quarantined
+
+    @property
+    def n_unacked(self) -> int:
+        return sum(len(ch.unacked) for ch in self._channels.values())
+
+    @property
+    def quiesced(self) -> bool:
+        """True when no frame awaits an ack and no ack awaits sending."""
+        return all(not ch.unacked and not ch.ack_pending
+                   for ch in self._channels.values())
+
+    def _channel(self, peer: int) -> _Channel:
+        ch = self._channels.get(peer)
+        if ch is None:
+            ch = _Channel(peer, rto_us=self.params.rel_timeout_us)
+            self._channels[peer] = ch
+        return ch
+
+    # -- transmit side ------------------------------------------------------
+    def send(
+        self,
+        nic: Nic,
+        frame: Frame,
+        cpu_gap_us: float = 0.0,
+        on_delivered: Optional[Callable[[], None]] = None,
+        on_failed: Optional[Callable[[BaseException], None]] = None,
+    ) -> None:
+        """Transmit ``frame`` on ``nic``, reliably when the layer is on.
+
+        ``on_delivered`` fires once: at tx completion in ``"off"`` mode
+        (the classic "data left the node" semantics), at ack receipt in
+        ``"ack"`` mode.  ``on_failed`` fires instead (ack mode only) when
+        the retransmit budget is exhausted.
+        """
+        if self.mode == "off":
+            done = nic.post_send(frame, cpu_gap_us=cpu_gap_us)
+            if on_delivered is not None:
+                done.add_callback(lambda _evt: on_delivered())
+            return
+        ch = self._channel(frame.dst_node)
+        hdr = self.params.hdr
+        frame.rel_seq = ch.next_seq
+        ch.next_seq += 1
+        frame.wire_size += hdr.rel_header + hdr.checksum
+        frame.rel_ack = self._ack_snapshot(ch)
+        self._cancel_delayed_ack(ch)
+        pending = _Pending(frame.rel_seq, frame, cpu_gap_us,
+                           on_delivered, on_failed, rail=nic.rail)
+        ch.unacked[pending.seq] = pending
+        done = nic.post_send(frame, cpu_gap_us=cpu_gap_us)
+        done.add_callback(lambda _evt: self._tx_done(ch, pending))
+
+    def _tx_done(self, ch: _Channel, pending: _Pending) -> None:
+        """A (re)transmission fully left the NIC: start its retry clock."""
+        if pending.seq not in ch.unacked:
+            return  # acked while still queued on the card
+        pending.deadline = self.sim.now + ch.rto_us
+        self._arm_timer(ch)
+
+    def _arm_timer(self, ch: _Channel) -> None:
+        deadlines = [p.deadline for p in ch.unacked.values()
+                     if p.deadline is not None]
+        if not deadlines:
+            return
+        ch.timer_gen += 1
+        gen = ch.timer_gen
+        delay = max(0.0, min(deadlines) - self.sim.now)
+        self.sim.schedule(delay, lambda: self._on_timer(ch, gen))
+
+    def _on_timer(self, ch: _Channel, gen: int) -> None:
+        if gen != ch.timer_gen:
+            return  # superseded by a newer arm
+        now = self.sim.now
+        expired = [p for p in ch.unacked.values()
+                   if p.deadline is not None and p.deadline <= now]
+        if expired:
+            self._retransmit(ch, min(expired, key=lambda p: p.seq))
+        self._arm_timer(ch)
+
+    def _retransmit(self, ch: _Channel, pending: _Pending) -> None:
+        params = self.params
+        if pending.retries >= params.rel_retry_budget:
+            self._give_up(ch, pending)
+            return
+        pending.retries += 1
+        self.engine.stats.retransmits += 1
+        self._note_loss(pending.rail)
+        rail = self._choose_rail(ch.peer, prefer=pending.rail)
+        if rail != pending.rail:
+            self.engine.stats.failovers += 1
+            self.engine.tracer.emit(self.sim.now, self._name, "failover",
+                                    seq=pending.seq, peer=ch.peer,
+                                    from_rail=pending.rail, to_rail=rail)
+            pending.rail = rail
+        ch.rto_us = min(ch.rto_us * params.rel_backoff,
+                        64.0 * params.rel_timeout_us)
+        pending.deadline = None
+        frame = pending.frame
+        frame.rel_ack = self._ack_snapshot(ch)
+        self._cancel_delayed_ack(ch)
+        self.engine.tracer.emit(self.sim.now, self._name, "retransmit",
+                                seq=pending.seq, peer=ch.peer, rail=rail,
+                                attempt=pending.retries)
+        done = self.nics[rail].post_send(frame, cpu_gap_us=pending.cpu_gap_us)
+        done.add_callback(lambda _evt: self._tx_done(ch, pending))
+
+    def _give_up(self, ch: _Channel, pending: _Pending) -> None:
+        del ch.unacked[pending.seq]
+        self.engine.stats.transport_failures += 1
+        kind = (RailDownError if pending.rail in self.quarantined
+                else TransportError)
+        exc = kind(
+            f"node{self.engine.node_id}: frame seq {pending.seq} to node "
+            f"{ch.peer} undeliverable after {pending.retries} retransmits "
+            f"(last rail {pending.rail})"
+        )
+        self.engine.tracer.emit(self.sim.now, self._name, "give_up",
+                                seq=pending.seq, peer=ch.peer,
+                                retries=pending.retries)
+        if pending.on_failed is not None:
+            pending.on_failed(exc)
+
+    # -- rail health ---------------------------------------------------------
+    def _note_loss(self, rail: int) -> None:
+        self.rail_losses[rail] = self.rail_losses.get(rail, 0) + 1
+        if (rail not in self.quarantined
+                and self.rail_losses[rail] >= self.params.rel_quarantine_threshold
+                and any(r not in self.quarantined
+                        for r in range(len(self.nics)) if r != rail)):
+            self._quarantine(rail)
+
+    def _quarantine(self, rail: int) -> None:
+        self.quarantined.add(rail)
+        self.engine.stats.rails_quarantined += 1
+        self.engine.tracer.emit(self.sim.now, self._name, "quarantine",
+                                rail=rail,
+                                losses=self.rail_losses.get(rail, 0))
+        healthy = [r for r in range(len(self.nics))
+                   if r not in self.quarantined]
+        if healthy:
+            self.engine.rendezvous.reroute_rail(rail, healthy[0])
+        # Expire everything last sent on the dead rail so failover happens
+        # now rather than after the remaining backoff.
+        now = self.sim.now
+        for ch in self._channels.values():
+            touched = False
+            for p in ch.unacked.values():
+                if p.rail == rail and p.deadline is not None:
+                    p.deadline = now
+                    touched = True
+            if touched:
+                self._arm_timer(ch)
+        self.engine.transfer.kick()
+
+    def _choose_rail(self, peer: int, prefer: int) -> int:
+        """Healthiest rail with a link to ``peer`` (sticky to ``prefer``)."""
+        if prefer not in self.quarantined and self.nics[prefer].has_peer(peer):
+            return prefer
+        for r, nic in enumerate(self.nics):
+            if r not in self.quarantined and nic.has_peer(peer):
+                return r
+        return prefer  # no healthy alternative: keep trying where we were
+
+    # -- receive side --------------------------------------------------------
+    def on_frame(self, rail: int, frame: Frame) -> None:
+        """Every engine-NIC arrival funnels through here before demux."""
+        if frame.corrupted:
+            # The checksum the sender appended does not match: discard like
+            # a loss (in ack mode the retransmit timer recovers it; in off
+            # mode the stall is the loud surface the tests demand).
+            self.engine.stats.corrupt_discards += 1
+            self.engine.tracer.emit(self.sim.now, self._name, "rx_corrupt",
+                                    frame=frame.frame_id, rail=rail)
+            return
+        if frame.rel_ack is not None:
+            cum, sacks = frame.rel_ack
+            self._handle_ack(frame.src_node, cum, sacks)
+        if frame.kind == FrameKind.REL_ACK:
+            return
+        if self.mode == "off" or frame.rel_seq is None:
+            self.engine.transfer._on_frame(rail, frame)
+            return
+        ch = self._channel(frame.src_node)
+        if not self._record_rx(ch, frame.rel_seq):
+            self.engine.stats.duplicates_suppressed += 1
+            self.engine.tracer.emit(self.sim.now, self._name, "dup_suppress",
+                                    seq=frame.rel_seq, peer=frame.src_node)
+            # The peer is clearly missing our ack: resend it right away.
+            self._send_ack(ch)
+            return
+        self._schedule_delayed_ack(ch)
+        self.engine.transfer._on_frame(rail, frame)
+
+    def _record_rx(self, ch: _Channel, seq: int) -> bool:
+        if seq < ch.rx_cum or seq in ch.rx_sacks:
+            return False
+        ch.rx_sacks.add(seq)
+        while ch.rx_cum in ch.rx_sacks:
+            ch.rx_sacks.discard(ch.rx_cum)
+            ch.rx_cum += 1
+        return True
+
+    def _ack_snapshot(self, ch: _Channel) -> tuple[int, tuple[int, ...]]:
+        return ch.rx_cum, tuple(sorted(ch.rx_sacks))
+
+    def _handle_ack(self, peer: int, cum: int, sacks: tuple[int, ...]) -> None:
+        ch = self._channel(peer)
+        sackset = set(sacks)
+        acked = sorted(s for s in ch.unacked if s < cum or s in sackset)
+        if not acked:
+            return
+        for seq in acked:
+            pending = ch.unacked.pop(seq)
+            self.rail_losses[pending.rail] = 0
+            if pending.on_delivered is not None:
+                pending.on_delivered()
+        ch.rto_us = self.params.rel_timeout_us  # fresh RTT evidence
+        self._arm_timer(ch)
+
+    # -- acknowledgement generation ------------------------------------------
+    def _schedule_delayed_ack(self, ch: _Channel) -> None:
+        if ch.ack_pending:
+            return
+        ch.ack_pending = True
+        ch.ack_gen += 1
+        gen = ch.ack_gen
+        self.sim.schedule(self.params.rel_ack_delay_us,
+                          lambda: self._delayed_ack_fire(ch, gen))
+
+    def _delayed_ack_fire(self, ch: _Channel, gen: int) -> None:
+        if gen != ch.ack_gen or not ch.ack_pending:
+            return  # a reverse frame piggybacked the ack in the meantime
+        self._send_ack(ch)
+
+    def _cancel_delayed_ack(self, ch: _Channel) -> None:
+        ch.ack_pending = False
+        ch.ack_gen += 1
+
+    def _send_ack(self, ch: _Channel) -> None:
+        self._cancel_delayed_ack(ch)
+        hdr = self.params.hdr
+        rail = self._choose_rail(ch.peer, prefer=0)
+        frame = Frame(
+            src_node=self.engine.node_id, dst_node=ch.peer,
+            kind=FrameKind.REL_ACK,
+            wire_size=hdr.rel_header + hdr.checksum,
+            rel_ack=self._ack_snapshot(ch),
+        )
+        self.engine.stats.acks_sent += 1
+        self.engine.tracer.emit(self.sim.now, self._name, "ack",
+                                peer=ch.peer, cum=frame.rel_ack[0],
+                                sacks=len(frame.rel_ack[1]), rail=rail)
+        self.nics[rail].post_send(frame, cpu_gap_us=0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ReliabilityLayer {self._name} mode={self.mode} "
+                f"unacked={self.n_unacked} quarantined={sorted(self.quarantined)}>")

@@ -60,7 +60,8 @@ class RdvSendState:
 class RdvRecvState:
     """Receiver-side bookkeeping for one granted transfer."""
 
-    __slots__ = ("req", "src", "handle", "total", "received", "pieces", "tag")
+    __slots__ = ("req", "src", "handle", "total", "received", "pieces", "tag",
+                 "_offsets")
 
     def __init__(
         self, req: RecvRequest, src: int, handle: int, total: int, tag: int = -1
@@ -72,14 +73,24 @@ class RdvRecvState:
         self.tag = tag
         self.received = 0
         self.pieces: list[tuple[int, SegmentData]] = []
+        self._offsets: dict[int, int] = {}  # offset -> chunk length landed
 
-    def land(self, offset: int, data: SegmentData) -> None:
+    def land(self, offset: int, data: SegmentData) -> bool:
+        """Record one chunk; returns ``False`` for an exact duplicate.
+
+        Duplicates arise only under the reliability layer (a chunk whose
+        acknowledgement was lost is retransmitted); landing is idempotent
+        per offset so reassembly stays byte-exact.
+        """
         if offset < 0 or offset + data.nbytes > self.total:
             raise ProtocolError(
                 f"rendezvous chunk [{offset}, {offset + data.nbytes}) outside "
                 f"transfer of {self.total}B (src={self.src} "
                 f"handle={self.handle})"
             )
+        if self._offsets.get(offset) == data.nbytes:
+            return False  # exact retransmit duplicate
+        self._offsets[offset] = data.nbytes
         self.pieces.append((offset, data))
         self.received += data.nbytes
         if self.received > self.total:
@@ -87,6 +98,7 @@ class RdvRecvState:
                 f"rendezvous transfer overran: {self.received}B > "
                 f"{self.total}B (src={self.src} handle={self.handle})"
             )
+        return True
 
     @property
     def complete(self) -> bool:
@@ -149,6 +161,10 @@ class RendezvousManager:
         """Receiver granted: move the transfer to the streaming queue."""
         state = self._pending.pop(ack.handle, None)
         if state is None:
+            if self.engine.params.reliability != "off":
+                # A grant replayed across rails after failover; the first
+                # copy already moved the transfer to streaming.
+                return
             raise ProtocolError(
                 f"node{self.engine.node_id}: rendezvous ACK for unknown "
                 f"handle {ack.handle} (from node {ack.src})"
@@ -156,6 +172,36 @@ class RendezvousManager:
         state.granted = True
         self._granted.append(state)
         self.engine.transfer.kick()
+
+    def abort(self, handle: int, exc: BaseException) -> None:
+        """Fail an announced-or-granted transfer (reliability error path)."""
+        state = self._pending.pop(handle, None)
+        if state is None:
+            for s in self._granted:
+                if s.handle == handle:
+                    state = s
+                    self._granted.remove(s)
+                    break
+        if state is None:
+            return
+        completion = state.wrap.completion
+        if completion is not None and not completion.triggered:
+            completion.fail(exc)
+            completion.defuse()
+        self.engine.tracer.emit(self.engine.sim.now,
+                                f"node{self.engine.node_id}.rendezvous",
+                                "abort", handle=handle)
+
+    def reroute_rail(self, rail: int, new_rail: int) -> None:
+        """Re-home granted transfers whose origin rail was quarantined.
+
+        Chunks not yet carved then stream from ``new_rail`` (or any rail,
+        under a multirail strategy); chunks already in flight are
+        retransmitted by the reliability layer itself.
+        """
+        for state in self._granted:
+            if state.origin_rail == rail:
+                state.origin_rail = new_rail
 
     def next_chunk(
         self, rail: int, multirail: bool
@@ -188,18 +234,35 @@ class RendezvousManager:
         )
 
     def chunk_sent(self, state: RdvSendState, item: RdvDataItem) -> None:
-        """A bulk chunk's frame finished transmission."""
+        """A bulk chunk's frame finished transmission (or was acked)."""
         state.bytes_sent += item.data.nbytes
         self.bulk_bytes_sent += item.data.nbytes
         if state.bytes_sent == state.total:
-            if state.wrap.completion is not None:
-                state.wrap.completion.succeed(state.wrap)
+            completion = state.wrap.completion
+            if completion is not None and not completion.triggered:
+                completion.succeed(state.wrap)
+
+    def chunk_failed(self, state: RdvSendState, item: RdvDataItem,
+                     exc: BaseException) -> None:
+        """A bulk chunk exhausted its retransmit budget: fail the send."""
+        if state in self._granted:
+            self._granted.remove(state)
+        completion = state.wrap.completion
+        if completion is not None and not completion.triggered:
+            completion.fail(exc)
+            completion.defuse()
+        self.engine.tracer.emit(self.engine.sim.now,
+                                f"node{self.engine.node_id}.rendezvous",
+                                "chunk_failed", handle=state.handle,
+                                offset=item.offset)
 
     # -- receiver side -----------------------------------------------------------
     def grant(self, req_item: RdvReqItem, recv_req: RecvRequest) -> None:
         """A matching receive exists: set up landing and send the grant."""
         key = (req_item.src, req_item.handle)
         if key in self._incoming:
+            if self.engine.params.reliability != "off":
+                return  # replayed announcement already granted
             raise ProtocolError(
                 f"node{self.engine.node_id}: duplicate rendezvous grant for "
                 f"{key}"
@@ -216,11 +279,17 @@ class RendezvousManager:
         key = (item.src, item.handle)
         state = self._incoming.get(key)
         if state is None:
+            if self.engine.params.reliability != "off":
+                # Retransmitted chunk of an already-assembled transfer.
+                self.engine.stats.duplicates_suppressed += 1
+                return
             raise ProtocolError(
                 f"node{self.engine.node_id}: bulk data for unknown "
                 f"rendezvous {key}"
             )
-        state.land(item.offset, item.data)
+        if not state.land(item.offset, item.data):
+            self.engine.stats.duplicates_suppressed += 1
+            return
         if state.complete:
             del self._incoming[key]
             state.req.finish(state.assemble(), src=item.src, tag=state.tag)

@@ -23,7 +23,15 @@ ANY = -1
 
 
 class SendRequest:
-    """Handle on an in-progress send."""
+    """Handle on an in-progress send.
+
+    Completion normally means the data left this node; with the
+    reliability layer active it means the peer acknowledged delivery.  A
+    request may alternatively *fail* (cancellation, or a
+    :class:`~repro.errors.TransportError` after the retransmit budget is
+    exhausted) — ``failed``/``error`` expose that state without raising,
+    while waiting on ``done`` raises the error into the waiter.
+    """
 
     __slots__ = ("wrap", "done")
 
@@ -36,8 +44,19 @@ class SendRequest:
         """True once the data has left this node (nonblocking test)."""
         return self.done.triggered
 
+    @property
+    def failed(self) -> bool:
+        """True when the request ended in an error instead of completing."""
+        return self.done.triggered and not self.done.ok
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure exception, or ``None`` (nonblocking inspection)."""
+        return self.done.exception if self.failed else None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "done" if self.complete else "pending"
+        state = ("failed" if self.failed
+                 else "done" if self.complete else "pending")
         return f"<SendRequest {self.wrap!r} {state}>"
 
 
@@ -83,6 +102,16 @@ class RecvRequest:
     def complete(self) -> bool:
         """True once matched data has fully landed (nonblocking test)."""
         return self.done.triggered
+
+    @property
+    def failed(self) -> bool:
+        """True when the receive ended in an error (e.g. truncation)."""
+        return self.done.triggered and not self.done.ok
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure exception, or ``None`` (nonblocking inspection)."""
+        return self.done.exception if self.failed else None
 
     def matches(self, src: int, tag: int) -> bool:
         """Does an incoming (src, tag) satisfy this posted receive?"""

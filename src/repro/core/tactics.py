@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.core.packet import HeaderSpec, PacketWrap
+from repro.core.packet import PacketWrap
 
 __all__ = [
     "deps_satisfied",

@@ -61,8 +61,12 @@ class TransferLayer:
         self._anticipated: Optional[tuple[SendPlan, list]] = None
         for nic in self.nics:
             nic.add_idle_callback(self._on_idle)
+            # Every arrival funnels through the reliability layer first
+            # (checksum verification, ack processing, duplicate suppression);
+            # in "off" mode it is a straight pass-through to _on_frame.
             nic.set_receive_handler(
-                lambda frame, rail=nic.rail: self._on_frame(rail, frame)
+                lambda frame, rail=nic.rail:
+                    self.engine.reliability.on_frame(rail, frame)
             )
 
     @property
@@ -71,10 +75,16 @@ class TransferLayer:
         return self._anticipated is not None
 
     # -- refill machinery -----------------------------------------------------
+    def _rail_ok(self, rail: int) -> bool:
+        """May work still be scheduled on this rail (not quarantined)?"""
+        return self.engine.reliability.rail_ok(rail)
+
     def kick(self) -> None:
         """New work exists: schedule a pull on every currently idle NIC."""
         any_idle = False
         for nic in self.nics:
+            if not self._rail_ok(nic.rail):
+                continue
             if nic.idle and not self._pull_pending[nic.rail]:
                 self._pull_pending[nic.rail] = True
                 self.engine.sim.schedule(0.0, lambda r=nic.rail: self._pull(r))
@@ -91,8 +101,10 @@ class TransferLayer:
         A prepared packet may be handed to *any* NIC later, so it is sized
         against the most restrictive (smallest) rendezvous threshold.
         """
-        return min(range(len(self.nics)),
-                   key=lambda r: self.nics[r].profile.rdv_threshold)
+        rails = [r for r in range(len(self.nics)) if self._rail_ok(r)]
+        if not rails:
+            rails = list(range(len(self.nics)))
+        return min(rails, key=lambda r: self.nics[r].profile.rdv_threshold)
 
     def _context(self, rail: int) -> SchedulingContext:
         params = self.engine.params
@@ -113,7 +125,7 @@ class TransferLayer:
             return
         if self._anticipated is not None:
             return
-        if any(nic.idle for nic in self.nics):
+        if any(nic.idle and self._rail_ok(nic.rail) for nic in self.nics):
             return  # an idle NIC will pull directly
         if (params.dispatch_policy == "backlog"
                 and len(self.engine.window) < params.backlog_flush_threshold):
@@ -134,7 +146,7 @@ class TransferLayer:
     def _pull(self, rail: int) -> None:
         self._pull_pending[rail] = False
         nic = self.nics[rail]
-        if not nic.idle:
+        if not nic.idle or not self._rail_ok(rail):
             return
         params = self.engine.params
         if self._anticipated is not None:
@@ -215,8 +227,11 @@ class TransferLayer:
         engine.tracer.emit(engine.sim.now, f"node{engine.node_id}.transfer",
                            "send_plan", rail=nic.rail, dest=plan.dest,
                            items=len(items), wire=wire)
-        done = nic.post_send(frame, cpu_gap_us=cpu_gap)
-        done.add_callback(lambda _evt: self._plan_sent(plan))
+        engine.reliability.send(
+            nic, frame, cpu_gap_us=cpu_gap,
+            on_delivered=lambda: self._plan_sent(plan),
+            on_failed=lambda exc: self._plan_failed(plan, items, exc),
+        )
         # With an anticipation policy active, the NIC just went busy: start
         # preparing the next packet off the critical path right away.
         self._maybe_prepare()
@@ -224,12 +239,28 @@ class TransferLayer:
     def _plan_sent(self, plan: SendPlan) -> None:
         for wrap in plan.taken:
             self.sent_wraps.add(wrap.wrap_id)
-            if wrap.completion is not None:
+            if wrap.completion is not None and not wrap.completion.triggered:
                 wrap.completion.succeed(wrap)
         for wrap in plan.announced:
             # The announcement left the node; ordering dependencies on this
             # wrap are satisfied (delivery order is restored by the matcher).
             self.sent_wraps.add(wrap.wrap_id)
+
+    def _plan_failed(self, plan: SendPlan, items: list,
+                     exc: BaseException) -> None:
+        """The reliability layer gave up on this packet's frame."""
+        for wrap in plan.taken:
+            if wrap.completion is not None and not wrap.completion.triggered:
+                wrap.completion.fail(exc)
+                wrap.completion.defuse()
+        for item in items:
+            if isinstance(item, RdvReqItem):
+                # The announcement never reached the peer: fail the big send.
+                self.engine.rendezvous.abort(item.handle, exc)
+        self.engine.tracer.emit(self.engine.sim.now,
+                                f"node{self.engine.node_id}.transfer",
+                                "plan_failed", dest=plan.dest,
+                                items=len(items))
 
     def _send_bulk(self, nic: Nic, state, item: RdvDataItem) -> None:
         engine = self.engine
@@ -253,9 +284,11 @@ class TransferLayer:
         engine.tracer.emit(engine.sim.now, f"node{engine.node_id}.transfer",
                            "send_bulk", rail=nic.rail, dest=state.wrap.dest,
                            offset=item.offset, nbytes=item.data.nbytes)
-        done = nic.post_send(frame, cpu_gap_us=cpu_gap)
-        done.add_callback(
-            lambda _evt: engine.rendezvous.chunk_sent(state, item)
+        engine.reliability.send(
+            nic, frame, cpu_gap_us=cpu_gap,
+            on_delivered=lambda: engine.rendezvous.chunk_sent(state, item),
+            on_failed=lambda exc: engine.rendezvous.chunk_failed(
+                state, item, exc),
         )
 
     # -- receiving ----------------------------------------------------------------

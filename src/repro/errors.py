@@ -34,6 +34,28 @@ class MatchError(ReproError):
     """Receive-side matching failed in a way the application can observe."""
 
 
+class TransportError(ReproError):
+    """A reliable delivery could not be completed.
+
+    Raised (as a request-level failure, never as a silent hang) when the
+    optional reliability layer exhausts its retransmit budget for a frame:
+    the affected :class:`~repro.core.requests.SendRequest` fails with this
+    error while unrelated flows keep progressing.  Never raised in the
+    default ``reliability="off"`` (paper-faithful) mode, where a loss
+    surfaces as a visible stall instead.
+    """
+
+
+class RailDownError(TransportError):
+    """Delivery failed because the rail it depended on is down.
+
+    A specialization of :class:`TransportError` used when the retransmit
+    budget was exhausted on a rail the engine has quarantined (or whose
+    link went permanently down), so the failure is attributable to the
+    rail rather than to transient loss.
+    """
+
+
 class StrategyError(ReproError):
     """A scheduling strategy broke one of its contracts.
 

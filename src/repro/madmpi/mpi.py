@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-from repro.core.data import Bytes, SegmentData, VirtualData, as_data
+from repro.core.data import SegmentData, VirtualData, as_data
 from repro.core.engine import NmadEngine
 from repro.core.requests import ANY
 from repro.errors import MpiError

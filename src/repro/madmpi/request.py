@@ -43,6 +43,22 @@ class MpiRequest:
         """Nonblocking completion test (MPI_Test semantics, no progress)."""
         return self.done.triggered
 
+    @property
+    def failed(self) -> bool:
+        """True when the operation ended in an error instead of completing.
+
+        With the engine's reliability layer active, a send whose retransmit
+        budget is exhausted fails with
+        :class:`~repro.errors.TransportError`; this surfaces it through the
+        MPI-level wait/test interface without raising.
+        """
+        return self.done.triggered and not self.done.ok
+
+    @property
+    def error(self):
+        """The failure exception, or ``None`` (nonblocking inspection)."""
+        return self.done.exception if self.failed else None
+
     def set_status(self, source: int, tag: int, count: int) -> None:
         self.source = source
         self.tag = tag

@@ -1,7 +1,7 @@
 """Network + host hardware substrate (simulated NICs, links, nodes)."""
 
 from repro.netsim.frames import Frame, FrameKind
-from repro.netsim.link import Link
+from repro.netsim.link import FaultPlan, Link
 from repro.netsim.memory import MemoryModel
 from repro.netsim.nic import Nic
 from repro.netsim.node import Node
@@ -30,6 +30,7 @@ from repro.netsim.units import (
 
 __all__ = [
     "Cluster",
+    "FaultPlan",
     "Frame",
     "FrameKind",
     "GB",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 __all__ = ["Frame", "FrameKind"]
 
@@ -24,6 +24,7 @@ class FrameKind:
     RDV_ACK = "rdv_ack"    # rendezvous acknowledgement (control)
     RDV_DATA = "rdv_data"  # rendezvous bulk data (zero-copy / RDMA path)
     CTRL = "ctrl"          # other control traffic
+    REL_ACK = "rel_ack"    # standalone reliability-layer acknowledgement
 
 
 _frame_ids = itertools.count()
@@ -37,6 +38,14 @@ class Frame:
     headers) and is what serialization time is charged on.  ``payload_size``
     is the application-useful byte count, kept separately so tests can check
     byte conservation and header overhead independently.
+
+    The three ``rel_*``/``corrupted`` fields belong to the optional
+    reliability layer (``EngineParams.reliability="ack"``): ``rel_seq`` is
+    the per-peer physical-frame sequence number, ``rel_ack`` a piggybacked
+    ``(cumulative, selective...)`` acknowledgement for the reverse
+    direction, and ``corrupted`` models a payload whose checksum will fail
+    on arrival (set by a link's :class:`~repro.netsim.link.FaultPlan`).
+    They stay ``None``/``False`` in the paper-faithful default mode.
     """
 
     src_node: int
@@ -45,6 +54,9 @@ class Frame:
     wire_size: int
     payload: Any = None
     payload_size: int = 0
+    rel_seq: Optional[int] = None
+    rel_ack: Optional[tuple[int, tuple[int, ...]]] = None
+    corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 
     def __post_init__(self) -> None:

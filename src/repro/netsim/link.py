@@ -10,16 +10,24 @@ The link also keeps conservation counters (frames/bytes entered vs
 delivered) that the property tests use to prove no packet is ever lost or
 duplicated by the scheduling engine above.
 
-A ``fault_injector`` hook can drop frames.  The engine — like the real
+Faults are modelled by a composable :class:`FaultPlan` (drop the nth
+frame, drop a fixed id set, drop bursts, corrupt payloads, take the link
+permanently down at a given time).  A bare callable ``frame -> bool`` is
+still accepted wherever a plan is (the historical ``fault_injector``
+hook), returning ``True`` to drop.  The engine — like the real
 NewMadeleine, which targets reliable system-area networks (MX, Elan, SCI)
-— performs **no retransmission**; fault injection exists so tests can prove
-that a loss surfaces as a visible failure (stuck requests, failed
-conservation check, parked sequence gaps) rather than silent corruption.
+— performs **no retransmission** by default; fault injection exists so
+tests can prove that a loss surfaces as a visible failure (stuck requests,
+failed conservation check, parked sequence gaps) rather than silent
+corruption.  The opt-in reliability layer
+(:mod:`repro.core.reliability`) builds recovery on top of these same
+fault hooks.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+import dataclasses
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import NetworkError
 from repro.netsim.frames import Frame
@@ -28,7 +36,102 @@ from repro.sim import Simulator, Tracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.netsim.nic import Nic
 
-__all__ = ["Link"]
+__all__ = ["FaultPlan", "Link"]
+
+#: Outcomes a fault decision may produce.
+DELIVER, DROP, CORRUPT = "deliver", "drop", "corrupt"
+
+
+class FaultPlan:
+    """Deterministic, composable fault model for one link.
+
+    A plan combines any of:
+
+    * ``drop_nth`` — 1-based arrival indices to drop;
+    * ``drop_frame_ids`` — a fixed set of :attr:`Frame.frame_id` to drop;
+    * ``bursts`` — ``(first_n, length)`` pairs dropping ``length``
+      consecutive arrivals starting at arrival ``first_n``;
+    * ``corrupt_nth`` — arrival indices delivered with a failing checksum
+      (the receiver discards them like a loss, but the bytes did travel);
+    * ``drop_kind_nth`` — ``(kind, n)`` pairs dropping the nth frame *of
+      that kind* (e.g. ``("rel_ack", 1)`` to lose the first ack);
+    * ``down_at_us`` — a time after which every frame is dropped (permanent
+      link failure).
+
+    Plans keep per-instance arrival counters, so do not share one instance
+    across links.  Drop decisions win over corruption when both match.
+    """
+
+    def __init__(
+        self,
+        drop_nth: Sequence[int] = (),
+        drop_frame_ids: Sequence[int] = (),
+        bursts: Sequence[tuple[int, int]] = (),
+        corrupt_nth: Sequence[int] = (),
+        drop_kind_nth: Sequence[tuple[str, int]] = (),
+        down_at_us: Optional[float] = None,
+    ) -> None:
+        for n in tuple(drop_nth) + tuple(corrupt_nth):
+            if n < 1:
+                raise NetworkError(f"fault indices are 1-based, got {n}")
+        for first, length in bursts:
+            if first < 1 or length < 1:
+                raise NetworkError(f"bad burst ({first}, {length})")
+        for kind, n in drop_kind_nth:
+            if n < 1:
+                raise NetworkError(f"bad drop_kind_nth ({kind!r}, {n})")
+        if down_at_us is not None and down_at_us < 0:
+            raise NetworkError(f"negative down_at_us {down_at_us}")
+        self.drop_nth = frozenset(drop_nth)
+        self.drop_frame_ids = frozenset(drop_frame_ids)
+        self.bursts = tuple(bursts)
+        self.corrupt_nth = frozenset(corrupt_nth)
+        self.drop_kind_nth = frozenset(drop_kind_nth)
+        self.down_at_us = down_at_us
+        self._n = 0
+        self._kind_counts: dict[str, int] = {}
+
+    def decide(self, frame: Frame, now: float) -> str:
+        """Classify the next arrival: deliver, drop, or corrupt."""
+        self._n += 1
+        n = self._n
+        kind_n = self._kind_counts.get(frame.kind, 0) + 1
+        self._kind_counts[frame.kind] = kind_n
+        if self.down_at_us is not None and now >= self.down_at_us:
+            return DROP
+        if n in self.drop_nth or frame.frame_id in self.drop_frame_ids:
+            return DROP
+        if any(first <= n < first + length for first, length in self.bursts):
+            return DROP
+        if (frame.kind, kind_n) in self.drop_kind_nth:
+            return DROP
+        if n in self.corrupt_nth:
+            return CORRUPT
+        return DELIVER
+
+    def __call__(self, frame: Frame) -> bool:
+        """Callable-shim view: ``True`` when the frame should be dropped.
+
+        Lets a plan be used anywhere a bare injector callable is expected;
+        corruption degrades to delivery through this narrower interface.
+        """
+        return self.decide(frame, now=0.0) == DROP
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        if self.drop_nth:
+            parts.append(f"drop_nth={sorted(self.drop_nth)}")
+        if self.drop_frame_ids:
+            parts.append(f"drop_ids={sorted(self.drop_frame_ids)}")
+        if self.bursts:
+            parts.append(f"bursts={list(self.bursts)}")
+        if self.corrupt_nth:
+            parts.append(f"corrupt_nth={sorted(self.corrupt_nth)}")
+        if self.drop_kind_nth:
+            parts.append(f"drop_kind_nth={sorted(self.drop_kind_nth)}")
+        if self.down_at_us is not None:
+            parts.append(f"down_at={self.down_at_us}us")
+        return f"<FaultPlan {' '.join(parts) or 'clean'}>"
 
 
 class Link:
@@ -50,13 +153,34 @@ class Link:
         self.dst = dst
         self.latency_us = latency_us
         self.tracer = tracer if tracer is not None else Tracer()
-        self.fault_injector = fault_injector
+        #: A :class:`FaultPlan` or a bare ``frame -> bool`` drop callable.
+        self.fault_plan = fault_injector
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_dropped = 0
+        self.frames_corrupted = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
+        self.bytes_dropped = 0
+        self.down_since: Optional[float] = None
         self.name = f"link.{src.name}->{dst.name}"
+
+    # ``fault_injector`` predates FaultPlan; keep it as an alias so existing
+    # code and tests that assign a callable keep working unchanged.
+    @property
+    def fault_injector(self):
+        return self.fault_plan
+
+    @fault_injector.setter
+    def fault_injector(self, fn) -> None:
+        self.fault_plan = fn
+
+    def _fault_action(self, frame: Frame) -> str:
+        if self.fault_plan is None:
+            return DELIVER
+        if isinstance(self.fault_plan, FaultPlan):
+            return self.fault_plan.decide(frame, now=self.sim.now)
+        return DROP if self.fault_plan(frame) else DELIVER
 
     def transmit(self, frame: Frame) -> None:
         """Accept a fully-serialized frame and deliver it after the latency."""
@@ -67,11 +191,27 @@ class Link:
             )
         self.frames_sent += 1
         self.bytes_sent += frame.wire_size
-        if self.fault_injector is not None and self.fault_injector(frame):
+        action = self._fault_action(frame)
+        if action == DROP:
             self.frames_dropped += 1
+            self.bytes_dropped += frame.wire_size
+            if (isinstance(self.fault_plan, FaultPlan)
+                    and self.fault_plan.down_at_us is not None
+                    and self.sim.now >= self.fault_plan.down_at_us):
+                if self.down_since is None:
+                    self.down_since = self.sim.now
+                    self.tracer.emit(self.sim.now, self.name, "link_down")
             self.tracer.emit(self.sim.now, self.name, "wire_drop",
                              frame=frame.frame_id, size=frame.wire_size)
             return
+        if action == CORRUPT:
+            # The bytes travel (conservation holds) but the payload checksum
+            # will fail on arrival.  Deliver a flagged copy so a sender-held
+            # retransmit buffer never sees the corruption.
+            self.frames_corrupted += 1
+            frame = dataclasses.replace(frame, corrupted=True)
+            self.tracer.emit(self.sim.now, self.name, "wire_corrupt",
+                             frame=frame.frame_id, size=frame.wire_size)
         self.tracer.emit(self.sim.now, self.name, "wire_enter",
                          frame=frame.frame_id, size=frame.wire_size)
         self.sim.schedule(self.latency_us, lambda: self._deliver(frame))
@@ -82,6 +222,11 @@ class Link:
         self.tracer.emit(self.sim.now, self.name, "wire_exit",
                          frame=frame.frame_id, size=frame.wire_size)
         self.dst._arrive(frame)
+
+    @property
+    def down(self) -> bool:
+        """True once a ``down_at_us`` fault has taken the link down."""
+        return self.down_since is not None
 
     @property
     def in_flight(self) -> int:

@@ -83,6 +83,10 @@ class Nic:
         """Node ids reachable through this NIC."""
         return sorted(self._links)
 
+    def has_peer(self, dst_node: int) -> bool:
+        """Does this NIC own a link towards ``dst_node``?"""
+        return dst_node in self._links
+
     def set_receive_handler(self, fn: Callable[[Frame], None]) -> None:
         """Install the upper layer's frame-arrival handler."""
         self._rx_handler = fn

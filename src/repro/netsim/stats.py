@@ -15,7 +15,7 @@ from repro.netsim.nic import Nic
 from repro.netsim.topology import Cluster
 
 __all__ = ["NicUtilization", "nic_utilization", "cluster_utilization",
-           "render_utilization"]
+           "render_utilization", "render_fault_summary"]
 
 
 @dataclass(frozen=True)
@@ -75,3 +75,15 @@ def render_utilization(utils: list[NicUtilization]) -> str:
             f"{u.bytes_sent:>12}"
         )
     return "\n".join(lines)
+
+
+def render_fault_summary(cluster: Cluster) -> str:
+    """One-line report of injected faults across the cluster's links."""
+    s = cluster.fault_summary()
+    conserved = cluster.conservation_ok(allow_faults=True)
+    return (
+        f"faults: {s['frames_dropped']} dropped "
+        f"({s['bytes_dropped']}B), {s['frames_corrupted']} corrupted, "
+        f"{s['links_down']} link(s) down; "
+        f"conservation(with faults): {'ok' if conserved else 'VIOLATED'}"
+    )

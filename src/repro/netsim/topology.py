@@ -10,7 +10,7 @@ cluster.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import NetworkError
 from repro.netsim.link import Link
@@ -83,13 +83,35 @@ class Cluster:
             f"(rails: {[p.name for p in self.rails]})"
         )
 
-    def conservation_ok(self) -> bool:
-        """True when no frame is lost or duplicated on any quiesced link."""
+    def conservation_ok(self, allow_faults: bool = False) -> bool:
+        """True when no frame is lost or duplicated on any quiesced link.
+
+        With ``allow_faults=True``, frames an injected fault dropped are
+        accounted for instead of counted as violations: every frame that
+        entered a link must either have been delivered or deliberately
+        dropped.  This is the check to use with the reliability layer,
+        whose retransmissions re-enter links as fresh sends.
+        """
+        if allow_faults:
+            return all(
+                l.frames_sent == l.frames_delivered + l.frames_dropped
+                and l.bytes_sent == l.bytes_delivered + l.bytes_dropped
+                for l in self.links
+            )
         return all(
             l.frames_sent == l.frames_delivered
             and l.bytes_sent == l.bytes_delivered
             for l in self.links
         )
+
+    def fault_summary(self) -> dict[str, int]:
+        """Aggregate injected-fault counters across every link."""
+        return {
+            "frames_dropped": sum(l.frames_dropped for l in self.links),
+            "frames_corrupted": sum(l.frames_corrupted for l in self.links),
+            "bytes_dropped": sum(l.bytes_dropped for l in self.links),
+            "links_down": sum(1 for l in self.links if l.down),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -17,7 +17,7 @@ labelling so benchmark tables read like the figures.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import List
 
 __all__ = [
     "KB",

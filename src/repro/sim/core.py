@@ -86,6 +86,11 @@ class Event:
         assert self._exc is not None
         raise self._exc
 
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None`` (non-raising inspection)."""
+        return self._exc
+
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Mark the event successful and schedule its callbacks."""
@@ -321,6 +326,17 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._n_processed = 0
+        self._deadlock_hints: list[Callable[[], Optional[str]]] = []
+
+    def add_deadlock_hint(self, fn: Callable[[], Optional[str]]) -> None:
+        """Register a diagnosis callback consulted when a deadlock fires.
+
+        Each callback returns a short explanation string (or ``None`` for
+        "nothing to add"); engines use this to distinguish a paper-mode
+        stall (no retransmission) from an exhausted retry budget in the
+        deadlock message of :meth:`run_process`.
+        """
+        self._deadlock_hints.append(fn)
 
     # -- clock ------------------------------------------------------------
     @property
@@ -423,10 +439,14 @@ class Simulator:
         proc = self.spawn(gen, name=name)
         self.run()
         if not proc.triggered:
-            raise SimulationError(
-                f"process {proc.name!r} never finished (deadlock: queue drained "
-                "while the process was still waiting)"
+            msg = (
+                f"process {proc.name!r} never finished (deadlock: queue "
+                "drained while the process was still waiting)"
             )
+            hints = [h for fn in self._deadlock_hints if (h := fn())]
+            if hints:
+                msg += " | " + "; ".join(hints)
+            raise SimulationError(msg)
         return proc.value
 
     def peek(self) -> float:

@@ -1,6 +1,5 @@
 """Tests for the paper-claim validation machinery."""
 
-import pytest
 
 from repro.bench.claims import (
     CLAIMS,

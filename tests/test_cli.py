@@ -66,3 +66,32 @@ class TestCommands:
     def test_bad_iters_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("figures", "--quick", "--iters", "0")
+
+
+class TestReport:
+    def test_clean_report(self):
+        code, text = run_cli("report", "--messages", "10")
+        assert code == 0
+        assert "replayed 10 messages" in text
+        assert "retransmits" in text
+        assert "conservation(with faults): ok" in text
+
+    def test_ack_mode_with_drops_recovers(self):
+        code, text = run_cli("report", "--reliability", "ack",
+                             "--drop-nth", "1", "--messages", "10")
+        assert code == 0
+        assert "replayed 10 messages" in text
+        assert "1 dropped" in text
+
+    def test_off_mode_with_drop_reports_stall(self):
+        code, text = run_cli("report", "--drop-nth", "1", "--messages", "5")
+        assert code == 1
+        assert "SIMULATION STALLED" in text
+        assert "no retransmission" in text
+
+    def test_two_rail_failover(self):
+        code, text = run_cli("report", "--reliability", "ack", "--rails", "2",
+                             "--link-down-at", "100", "--messages", "10")
+        assert code == 0
+        assert "replayed 10 messages" in text
+        assert "1 link(s) down" in text

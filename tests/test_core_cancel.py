@@ -1,6 +1,5 @@
 """Tests for send cancellation (window removal + sequence tombstones)."""
 
-import pytest
 
 from repro.core import NmadEngine, VirtualData
 from repro.errors import MpiError

@@ -1,6 +1,5 @@
 """Remaining engine edge cases across protocol combinations."""
 
-import pytest
 
 from repro.core import EngineParams, NmadEngine, VirtualData
 from repro.errors import MpiError

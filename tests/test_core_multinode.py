@@ -1,6 +1,5 @@
 """Multi-node engine scenarios: one window serving several destinations."""
 
-import pytest
 
 from repro.core import NmadEngine, VirtualData
 from repro.madmpi import Communicator, MadMpi

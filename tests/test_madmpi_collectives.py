@@ -3,7 +3,7 @@
 import operator
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.baselines import MpichMpi

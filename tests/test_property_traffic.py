@@ -146,3 +146,55 @@ def test_strategies_agree_on_results_not_timing(seed):
         done = replay(pair, messages, verify_content=True)
         outcomes[strategy] = [r.data.tobytes() for _, r in done]
     assert outcomes["aggregation"] == outcomes["fifo"]
+
+
+@SLOW
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_seed=st.integers(min_value=0, max_value=10_000),
+    drop_rate=st.floats(min_value=0.0, max_value=0.25),
+)
+def test_ack_mode_delivers_exactly_once_under_random_loss(
+    seed, drop_seed, drop_rate
+):
+    """Reliability property: byte-exact, no duplicates, under random drops.
+
+    Every link drops frames with a seeded random rate; the ack-mode engine
+    must still deliver every message intact, exactly once, in per-flow
+    order, and fully quiesce.
+    """
+    import random
+
+    from repro.core import EngineParams
+
+    params = EngineParams(reliability="ack", rel_timeout_us=100.0,
+                          rel_ack_delay_us=10.0, rel_retry_budget=20)
+    pair = make_backend_pair("madmpi", rails=(MX_MYRI10G,),
+                             engine_params=params)
+    rng = random.Random(drop_seed)
+    budget = {"left": 12}  # bound total losses so no frame can exhaust retries
+
+    def make_injector():
+        def injector(frame):
+            if budget["left"] > 0 and rng.random() < drop_rate:
+                budget["left"] -= 1
+                return True
+            return False
+        return injector
+
+    for link in pair.cluster.links:
+        link.fault_injector = make_injector()
+    spec = TrafficSpec(n_messages=20, n_flows=3, n_tags=3,
+                       max_size=8 * 1024, large_fraction=0.1,
+                       large_max=256 * 1024)
+    messages = generate_messages(spec, seed=seed)
+    done = replay(pair, messages, verify_content=True)
+    assert len(done) == len(messages)
+    for flow in {m.flow for m in messages}:
+        submitted = [m.size for m in messages if m.flow == flow]
+        completed = [m.size for m, _ in done if m.flow == flow]
+        assert completed == submitted
+    # Fault-aware conservation: sent == delivered + dropped on every link.
+    assert pair.cluster.conservation_ok(allow_faults=True)
+    for mpi in pair.ranks:
+        assert mpi.engine.quiesced()

@@ -3,7 +3,6 @@
 import pathlib
 import re
 
-import pytest
 
 README = pathlib.Path(__file__).resolve().parent.parent / "README.md"
 

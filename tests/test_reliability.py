@@ -1,0 +1,294 @@
+"""The opt-in reliability layer: ack/retransmit, dedup, failover, failure.
+
+Default mode stays ``"off"`` (the paper's engine, no retransmission — see
+``tests/test_fault_injection.py`` for the loud-failure contract).  These
+tests cover the ``"ack"`` mode: losses recover transparently, duplicates
+never reach the application, a dead rail fails over mid-transfer, and an
+undeliverable frame fails only its own request.
+"""
+
+import pytest
+
+from repro.core import EngineParams, NmadEngine
+from repro.errors import SimulationError, TransportError
+from repro.netsim import MX_MYRI10G, QUADRICS_QM500, Cluster, FaultPlan
+from repro.sim import Simulator
+
+ACK = dict(reliability="ack", rel_timeout_us=100.0, rel_ack_delay_us=10.0)
+
+
+def link_between(cluster, src, dst, rail=0):
+    for link in cluster.links:
+        if (link.src.node_id == src and link.dst.node_id == dst
+                and link.src.rail == rail):
+            return link
+    raise AssertionError(f"no link node{src}->node{dst} rail{rail}")
+
+
+def make_pair(params, rails=(MX_MYRI10G,), strategy="aggregation"):
+    sim = Simulator()
+    cluster = Cluster(sim, rails=rails)
+    engines = [NmadEngine(cluster.node(i), strategy=strategy, params=params)
+               for i in range(2)]
+    return sim, cluster, engines
+
+
+class TestEagerRecovery:
+    def test_dropped_eager_frame_is_retransmitted(self):
+        sim, cluster, (e0, e1) = make_pair(EngineParams(**ACK))
+        link = link_between(cluster, 0, 1)
+        link.fault_plan = FaultPlan(drop_nth=(1,))
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, b"persistent", tag=0)
+            yield req.done
+            if not sreq.complete:
+                yield sreq.done
+            return req, sreq
+
+        req, sreq = sim.run_process(app())
+        assert req.data.tobytes() == b"persistent"
+        assert not sreq.failed
+        assert e0.stats.retransmits >= 1
+        assert link.frames_dropped == 1
+        # Retransmitted bytes are accounted: strict conservation sees the
+        # loss, fault-aware conservation balances.
+        assert not cluster.conservation_ok()
+        assert cluster.conservation_ok(allow_faults=True)
+        assert e0.quiesced() and e1.quiesced()
+
+    def test_corrupted_frame_discarded_by_checksum_and_recovered(self):
+        sim, cluster, (e0, e1) = make_pair(EngineParams(**ACK))
+        link = link_between(cluster, 0, 1)
+        link.fault_plan = FaultPlan(corrupt_nth=(1,))
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, b"checksummed", tag=0)
+            yield req.done
+            if not sreq.complete:
+                yield sreq.done
+            return req
+
+        req = sim.run_process(app())
+        assert req.data.tobytes() == b"checksummed"
+        assert e1.stats.corrupt_discards == 1
+        assert e0.stats.retransmits >= 1
+        assert link.frames_corrupted == 1
+        # Corrupted bytes did travel the wire: even strict conservation
+        # balances (nothing was dropped).
+        assert cluster.conservation_ok(allow_faults=True)
+
+    def test_acceptance_pingpong_with_data_and_ack_loss(self):
+        # The PR's acceptance scenario: one dropped data frame and one
+        # dropped ack frame; the exchange still completes byte-identical.
+        sim, cluster, (e0, e1) = make_pair(EngineParams(**ACK))
+        link_between(cluster, 0, 1).fault_plan = FaultPlan(
+            drop_nth=(1,),                        # the ping data frame
+            drop_kind_nth=(("rel_ack", 1),),      # the standalone pong ack
+        )
+
+        def app():
+            rp = e1.irecv(src=0, tag=0)
+            s0 = e0.isend(1, b"ping", tag=0)
+            yield rp.done
+            rq = e0.irecv(src=1, tag=1)
+            s1 = e1.isend(0, b"pong", tag=1)
+            yield rq.done
+            for sreq in (s0, s1):
+                if not sreq.complete:
+                    yield sreq.done
+            return rp, rq
+
+        rp, rq = sim.run_process(app())
+        assert rp.data.tobytes() == b"ping"
+        assert rq.data.tobytes() == b"pong"
+        assert e0.stats.retransmits >= 1          # the lost ping
+        assert e1.stats.retransmits >= 1          # pong re-sent after ack loss
+        assert e0.stats.duplicates_suppressed >= 1  # the replayed pong
+        assert cluster.conservation_ok(allow_faults=True)
+        assert e0.quiesced() and e1.quiesced()
+
+    def test_duplicate_never_reaches_the_application(self):
+        # Losing only the ack means the payload is delivered twice on the
+        # wire; the matcher must see it exactly once.
+        sim, cluster, (e0, e1) = make_pair(EngineParams(**ACK))
+        link_between(cluster, 1, 0).fault_plan = FaultPlan(
+            drop_kind_nth=(("rel_ack", 1),))
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, b"once", tag=0)
+            yield req.done
+            if not sreq.complete:
+                yield sreq.done
+            return req
+
+        req = sim.run_process(app())
+        assert req.data.tobytes() == b"once"
+        assert e1.stats.duplicates_suppressed >= 1
+        assert e1.matcher.delivered == 1
+        assert e0.quiesced() and e1.quiesced()
+
+
+class TestFailover:
+    def test_link_down_mid_rendezvous_completes_on_survivor(self):
+        params = EngineParams(reliability="ack", rel_timeout_us=100.0,
+                              rel_ack_delay_us=10.0,
+                              rel_quarantine_threshold=2)
+        sim, cluster, (e0, e1) = make_pair(
+            params, rails=(MX_MYRI10G, QUADRICS_QM500), strategy="multirail")
+        link_between(cluster, 0, 1, rail=1).fault_plan = \
+            FaultPlan(down_at_us=100.0)
+        payload = bytes(range(256)) * 8192  # 2 MiB
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, payload, tag=0)
+            yield req.done
+            if not sreq.complete:
+                yield sreq.done
+            return req, sreq
+
+        req, sreq = sim.run_process(app())
+        assert req.data.tobytes() == payload     # reassembled byte-exact
+        assert not sreq.failed
+        assert e0.stats.failovers >= 1
+        assert e0.stats.rails_quarantined == 1
+        assert 1 in e0.reliability.quarantined
+        assert not e0.reliability.rail_ok(1) and e0.reliability.rail_ok(0)
+        assert cluster.conservation_ok(allow_faults=True)
+        assert e0.quiesced() and e1.quiesced()
+
+    def test_quarantine_skipped_without_surviving_rail(self):
+        # A single-rail engine never self-quarantines: it keeps retrying on
+        # the only rail it has until the budget decides.
+        params = EngineParams(reliability="ack", rel_timeout_us=50.0,
+                              rel_quarantine_threshold=1, rel_retry_budget=3)
+        sim, cluster, (e0, e1) = make_pair(params)
+        link_between(cluster, 0, 1).fault_plan = FaultPlan(down_at_us=0.0)
+
+        def app():
+            e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, b"stuck", tag=0)
+            yield sim.timeout(5_000.0)
+            return sreq
+
+        sreq = sim.run_process(app())
+        assert e0.stats.rails_quarantined == 0
+        assert e0.reliability.rail_ok(0)
+        assert sreq.failed and isinstance(sreq.error, TransportError)
+
+
+class TestRetryExhaustion:
+    def test_budget_exhaustion_fails_only_affected_request(self):
+        params = EngineParams(reliability="ack", rel_timeout_us=50.0,
+                              rel_retry_budget=2, rel_ack_delay_us=5.0)
+        sim = Simulator()
+        cluster = Cluster(sim, n_nodes=3, rails=(MX_MYRI10G,))
+        link_between(cluster, 0, 1).fault_plan = FaultPlan(down_at_us=0.0)
+        e0, e1, e2 = [NmadEngine(cluster.node(i), params=params)
+                      for i in range(3)]
+
+        def app():
+            r_lost = e1.irecv(src=0, tag=0)
+            r_ok = e1.irecv(src=2, tag=0)
+            s_bad = e0.isend(1, b"doomed", tag=0)
+            s_ok = e2.isend(1, b"fine", tag=0)
+            yield r_ok.done
+            yield sim.timeout(2_000.0)  # let the budget run out
+            return r_lost, r_ok, s_bad, s_ok
+
+        r_lost, r_ok, s_bad, s_ok = sim.run_process(app())
+        assert s_bad.failed
+        assert isinstance(s_bad.error, TransportError)
+        assert e0.stats.transport_failures == 1
+        # Everything not routed over the dead link is untouched.
+        assert r_ok.complete and r_ok.data.tobytes() == b"fine"
+        assert s_ok.complete and not s_ok.failed
+        assert not r_lost.complete
+
+    def test_exhausted_rendezvous_fails_the_big_send(self):
+        params = EngineParams(reliability="ack", rel_timeout_us=50.0,
+                              rel_retry_budget=2)
+        sim, cluster, (e0, e1) = make_pair(params)
+        link_between(cluster, 0, 1).fault_plan = FaultPlan(down_at_us=0.0)
+
+        def app():
+            e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, bytes(300_000), tag=0)
+            yield sim.timeout(5_000.0)
+            return sreq
+
+        sreq = sim.run_process(app())
+        # The announcement itself never got through: the send fails.
+        assert sreq.failed and isinstance(sreq.error, TransportError)
+        assert e0.rendezvous.n_pending == 0
+
+
+class TestDeadlockDiagnosis:
+    def test_off_mode_deadlock_names_paper_mode(self):
+        sim, cluster, (e0, e1) = make_pair(EngineParams())
+        link_between(cluster, 0, 1).fault_plan = FaultPlan(drop_nth=(1,))
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            e0.isend(1, b"x", tag=0)
+            yield req.done
+
+        with pytest.raises(SimulationError, match="no retransmission"):
+            sim.run_process(app())
+
+    def test_exhausted_budget_named_in_deadlock(self):
+        params = EngineParams(reliability="ack", rel_timeout_us=50.0,
+                              rel_retry_budget=1)
+        sim, cluster, (e0, e1) = make_pair(params)
+        link_between(cluster, 0, 1).fault_plan = FaultPlan(down_at_us=0.0)
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            e0.isend(1, b"x", tag=0)
+            yield req.done
+
+        with pytest.raises(SimulationError, match="retry budget exhausted"):
+            sim.run_process(app())
+
+
+class TestOffModeUnchanged:
+    def test_off_mode_adds_no_wire_overhead_or_counters(self):
+        # The default engine must be byte-for-byte the paper's: no
+        # reliability headers, no acks, identical frame count.
+        results = {}
+        for mode in ("off", "ack"):
+            sim, cluster, (e0, e1) = make_pair(
+                EngineParams(reliability=mode))
+
+            def app():
+                req = e1.irecv(src=0, tag=0)
+                sreq = e0.isend(1, b"payload!", tag=0)
+                yield req.done
+                if not sreq.complete:
+                    yield sreq.done
+
+            sim.run_process(app())
+            results[mode] = (cluster.links[0].bytes_sent,
+                             e0.stats.acks_sent + e1.stats.acks_sent)
+        off_bytes, off_acks = results["off"]
+        ack_bytes, ack_acks = results["ack"]
+        assert off_acks == 0
+        assert ack_acks >= 1
+        hdr = EngineParams().hdr
+        assert ack_bytes >= off_bytes + hdr.rel_header + hdr.checksum
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            EngineParams(reliability="maybe")
+        with pytest.raises(ValueError):
+            EngineParams(rel_timeout_us=0.0)
+        with pytest.raises(ValueError):
+            EngineParams(rel_backoff=0.5)
+        with pytest.raises(ValueError):
+            EngineParams(rel_retry_budget=0)
+        with pytest.raises(ValueError):
+            EngineParams(rel_quarantine_threshold=0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, Timeout
+from repro.sim import AnyOf, Event, Interrupt, Simulator, Timeout
 
 
 @pytest.fixture()

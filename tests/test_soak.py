@@ -11,7 +11,6 @@ import random
 import pytest
 
 from repro.core import EngineParams, NmadEngine, VirtualData
-from repro.errors import MpiError
 from repro.netsim import Cluster, MX_MYRI10G, QUADRICS_QM500
 from repro.sim import Simulator
 
