@@ -1,0 +1,35 @@
+"""End-to-end host cost: wall-clock of full engine workloads.
+
+Two probes of the whole stack (MAD-MPI interface, matcher, collect layer,
+optimization window, strategies, transfer layer, NIC models):
+
+* a 1 KB ping-pong loop — the latency-critical path with an almost empty
+  window, where the paper demands "negligible overhead on basic requests";
+* a seeded irregular multi-flow replay — deep windows and aggregation,
+  where the O(1) accounting work actually earns its keep.
+
+Each reports host wall-clock *and* the simulated result, so a perf
+regression and a fidelity regression are distinguishable at a glance.
+"""
+
+from repro.bench.perf import bench_pingpong, bench_random_traffic
+
+
+def test_pingpong_wallclock(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: bench_pingpong(iters=100, size=1024), rounds=1, iterations=1)
+    emit(f"== Ping-pong host cost ({result['size']}B x {result['iters']}) ==\n"
+         f"  {result['exchanges_per_s']:>12,.1f} exchanges/s wall-clock\n"
+         f"  {result['sim_us_oneway']:>12.3f} us simulated one-way")
+    assert result["exchanges_per_s"] > 100
+    # Fidelity guard: host-side tuning must not move the simulated answer.
+    assert 0 < result["sim_us_oneway"] < 1000
+
+
+def test_random_traffic_wallclock(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: bench_random_traffic(n_messages=200), rounds=1, iterations=1)
+    emit(f"== Random-traffic host cost ({result['messages']} msgs) ==\n"
+         f"  {result['messages_per_s']:>12,.1f} messages/s wall-clock\n"
+         f"  {result['sim_us_makespan']:>12.1f} us simulated makespan")
+    assert result["messages_per_s"] > 50

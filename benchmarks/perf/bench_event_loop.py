@@ -1,0 +1,20 @@
+"""Raw simulation-kernel throughput (events processed per wall second).
+
+The engine's fidelity work all happens inside :class:`repro.sim.Simulator`
+callbacks, so the kernel's dispatch overhead is a floor under every other
+wall-clock number in this suite.  This bench drains a long self-refilling
+cascade of plain callbacks and Timeout events through ``run()``.
+"""
+
+from repro.bench.perf import bench_event_loop
+
+
+def test_event_loop_throughput(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: bench_event_loop(n_events=100_000), rounds=1, iterations=1)
+    emit(f"== Simulation kernel ==\n"
+         f"  {result['events_per_s']:>12,.0f} events/s "
+         f"({result['events']} events in {result['wall_s']:.3f}s)")
+    # Sanity floor: even a loaded CI box clears 50k events/s; a regression
+    # to linear queue behaviour would land far below this.
+    assert result["events_per_s"] > 50_000

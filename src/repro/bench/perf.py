@@ -1,0 +1,300 @@
+"""Host-side performance microbenchmarks (``python -m repro perf``).
+
+Everything else in :mod:`repro.bench` measures *simulated* time — what the
+modeled 2006 testbed would do.  This module measures **wall-clock host
+cost**: how fast the reproduction's own engine code runs.  The paper's
+core claim (§5.1) is that the scheduling engine adds only a tiny constant
+cost to each NIC refill, so the reproduction's pull path must not silently
+degrade to O(backlog); this suite pins that property to numbers and gives
+every future PR a trajectory to compare against (``BENCH_perf.json``).
+
+Four benchmarks:
+
+* ``window_ops`` — take/submit/query churn on an :class:`OptimizationWindow`
+  held at a deep backlog, compared against a frozen copy of the original
+  O(n) deque implementation (kept here as :class:`LegacyWindow` so the
+  speedup is measured, not asserted from memory).
+* ``event_loop`` — raw :class:`~repro.sim.Simulator` throughput: schedule
+  and drain a long cascade of callbacks and timeouts.
+* ``pingpong`` — end-to-end MAD-MPI ping-pong wall-clock (host seconds per
+  simulated exchange), plus the simulated makespan as a fidelity guard.
+* ``random_traffic`` — irregular multi-flow replay wall-clock, the
+  closest thing to a real application's host-side profile.
+
+All workloads are deterministic (seeded); only the wall-clock readings
+vary between hosts and runs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections import deque
+from typing import Callable, Iterator, Optional
+
+from repro.core.data import VirtualData
+from repro.core.packet import PacketWrap
+from repro.core.window import OptimizationWindow
+from repro.errors import ReproError, StrategyError
+
+__all__ = [
+    "LegacyWindow",
+    "bench_window_ops",
+    "bench_event_loop",
+    "bench_pingpong",
+    "bench_random_traffic",
+    "run_suite",
+    "render_perf",
+    "write_bench",
+]
+
+
+class LegacyWindow:
+    """The seed repo's O(n) optimization window, frozen for comparison.
+
+    This is the pre-overhaul implementation (deque storage, linear
+    ``take``, full-sum ``pending_bytes``/``backlog``), kept verbatim so
+    ``bench_window_ops`` can report a measured speedup of the live
+    :class:`~repro.core.window.OptimizationWindow` against it.  Not for
+    engine use.
+    """
+
+    def __init__(self, n_rails: int) -> None:
+        if n_rails < 1:
+            raise ValueError("window needs at least one rail")
+        self.n_rails = n_rails
+        self._common: deque = deque()
+        self._dedicated: list = [deque() for _ in range(n_rails)]
+        self.peak_wraps = 0
+        self.total_submitted = 0
+
+    def submit(self, wrap: PacketWrap) -> None:
+        if wrap.rail is not None:
+            self._dedicated[wrap.rail].append(wrap)
+        else:
+            self._common.append(wrap)
+        self.total_submitted += 1
+        occupancy = len(self)
+        if occupancy > self.peak_wraps:
+            self.peak_wraps = occupancy
+
+    def eligible(self, rail: int) -> Iterator[PacketWrap]:
+        yield from self._dedicated[rail]
+        yield from self._common
+
+    def __len__(self) -> int:
+        return len(self._common) + sum(len(d) for d in self._dedicated)
+
+    def pending_bytes(self, rail: Optional[int] = None) -> int:
+        if rail is None:
+            total = sum(w.length for w in self._common)
+            total += sum(w.length for d in self._dedicated for w in d)
+            return total
+        return sum(w.length for w in self.eligible(rail))
+
+    def backlog(self, dest: Optional[int] = None) -> int:
+        if dest is None:
+            return len(self)
+        return sum(1 for w in self._all() if w.dest == dest)
+
+    def _all(self) -> Iterator[PacketWrap]:
+        yield from self._common
+        for d in self._dedicated:
+            yield from d
+
+    def take(self, wrap: PacketWrap) -> None:
+        target = self._dedicated[wrap.rail] if wrap.rail is not None \
+            else self._common
+        try:
+            target.remove(wrap)
+        except ValueError:
+            raise StrategyError(f"{wrap!r} not in the window") from None
+
+
+def _make_wrap(i: int, n_dests: int, seq: int) -> PacketWrap:
+    return PacketWrap(dest=i % n_dests, flow=0, tag=0, seq=seq,
+                      data=VirtualData(64 + (i % 7) * 128))
+
+
+def bench_window_ops(
+    window_factory: Callable[[int], object],
+    backlog: int = 1000,
+    rounds: int = 5000,
+    n_rails: int = 2,
+    n_dests: int = 4,
+) -> dict:
+    """Sustained take+submit+query churn at a held backlog depth.
+
+    Models the strategy pull path under load: every round removes one wrap
+    mid-window (a strategy commit), submits a replacement (application
+    traffic keeps arriving) and reads the counters a strategy consults
+    (per-rail pending bytes, per-dest backlog).  Returns ops/s.
+    """
+    import random
+
+    if backlog < 1 or rounds < 1:
+        raise ReproError(f"bad bench shape backlog={backlog} rounds={rounds}")
+    win = window_factory(n_rails)
+    wraps = []
+    for i in range(backlog):
+        w = _make_wrap(i, n_dests, seq=i)
+        win.submit(w)
+        wraps.append(w)
+    rng = random.Random(0)
+    t0 = time.perf_counter()
+    for i in range(rounds):
+        victim = wraps.pop(rng.randrange(len(wraps)))
+        win.take(victim)
+        w = _make_wrap(i, n_dests, seq=backlog + i)
+        win.submit(w)
+        wraps.append(w)
+        win.pending_bytes(0)
+        win.backlog(dest=i % n_dests)
+    wall_s = time.perf_counter() - t0
+    return {
+        "backlog": backlog,
+        "rounds": rounds,
+        "wall_s": wall_s,
+        "ops_per_s": rounds / wall_s,
+    }
+
+
+def bench_event_loop(n_events: int = 200_000) -> dict:
+    """Raw kernel throughput: a self-refilling callback cascade + timeouts."""
+    from repro.sim import Simulator
+
+    if n_events < 1:
+        raise ReproError(f"bad event count {n_events}")
+    sim = Simulator()
+    remaining = [n_events]
+
+    def tick():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            # Alternate a plain callback with a Timeout event so both run
+            # paths of the loop are exercised.
+            if remaining[0] % 2:
+                sim.schedule(0.1, tick)
+            else:
+                sim.timeout(0.1).add_callback(lambda _evt: tick())
+
+    tick()
+    t0 = time.perf_counter()
+    sim.run()
+    wall_s = time.perf_counter() - t0
+    processed = sim.events_processed
+    return {
+        "events": processed,
+        "wall_s": wall_s,
+        "events_per_s": processed / wall_s,
+    }
+
+
+def bench_pingpong(iters: int = 200, size: int = 1024) -> dict:
+    """End-to-end MAD-MPI ping-pong: host seconds per simulated exchange.
+
+    The simulated one-way latency is reported alongside as a fidelity
+    guard: optimization PRs must move ``wall_s`` and leave ``sim_us_oneway``
+    untouched.
+    """
+    from repro.bench.pingpong import pingpong_single
+    from repro.netsim import MX_MYRI10G
+
+    t0 = time.perf_counter()
+    oneway_us = pingpong_single("madmpi", MX_MYRI10G, size=size,
+                                iters=iters, warmup=1)
+    wall_s = time.perf_counter() - t0
+    return {
+        "iters": iters,
+        "size": size,
+        "wall_s": wall_s,
+        "exchanges_per_s": iters / wall_s,
+        "sim_us_oneway": oneway_us,
+    }
+
+
+def bench_random_traffic(n_messages: int = 300, seed: int = 7) -> dict:
+    """Irregular multi-flow replay wall-clock (aggregation strategy)."""
+    from repro.bench.backends import make_backend_pair
+    from repro.bench.workloads import TrafficSpec, generate_messages, replay
+    from repro.netsim import KB, MX_MYRI10G
+
+    spec = TrafficSpec(n_messages=n_messages, n_flows=6, n_tags=4,
+                       min_size=16, max_size=8 * KB, large_fraction=0.05,
+                       burst_prob=0.8)
+    messages = generate_messages(spec, seed=seed)
+    pair = make_backend_pair("madmpi", rails=(MX_MYRI10G,),
+                             strategy="aggregation")
+    t0 = time.perf_counter()
+    replay(pair, messages, verify_content=False)
+    wall_s = time.perf_counter() - t0
+    return {
+        "messages": n_messages,
+        "seed": seed,
+        "wall_s": wall_s,
+        "messages_per_s": n_messages / wall_s,
+        "sim_us_makespan": pair.sim.now,
+    }
+
+
+def run_suite(quick: bool = False, backlog: int = 1000) -> dict:
+    """Run every microbenchmark; returns the ``BENCH_perf.json`` payload."""
+    rounds = 500 if quick else 5000
+    window_new = bench_window_ops(OptimizationWindow, backlog=backlog,
+                                  rounds=rounds)
+    window_old = bench_window_ops(LegacyWindow, backlog=backlog,
+                                  rounds=rounds)
+    results = {
+        "window_ops": {
+            **window_new,
+            "legacy_ops_per_s": window_old["ops_per_s"],
+            "speedup_vs_legacy": window_new["ops_per_s"]
+                                 / window_old["ops_per_s"],
+        },
+        "event_loop": bench_event_loop(20_000 if quick else 200_000),
+        "pingpong": bench_pingpong(iters=30 if quick else 200),
+        "random_traffic": bench_random_traffic(60 if quick else 300),
+    }
+    return {
+        "schema": "repro-perf/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "results": results,
+    }
+
+
+def render_perf(payload: dict) -> str:
+    """Human-readable table of one suite run."""
+    r = payload["results"]
+    w = r["window_ops"]
+    lines = [
+        f"== Engine host-side performance (python {payload['python']}, "
+        f"quick={payload['quick']}) ==",
+        f"  window ops @ backlog {w['backlog']:>5}: "
+        f"{w['ops_per_s']:>12,.0f} ops/s   "
+        f"(legacy {w['legacy_ops_per_s']:>10,.0f} ops/s, "
+        f"speedup {w['speedup_vs_legacy']:.1f}x)",
+        f"  event loop:                  "
+        f"{r['event_loop']['events_per_s']:>12,.0f} events/s   "
+        f"({r['event_loop']['events']} events)",
+        f"  ping-pong ({r['pingpong']['size']}B):            "
+        f"{r['pingpong']['exchanges_per_s']:>12,.1f} exchanges/s "
+        f"(sim {r['pingpong']['sim_us_oneway']:.3f} us one-way)",
+        f"  random traffic:              "
+        f"{r['random_traffic']['messages_per_s']:>12,.1f} msgs/s     "
+        f"(sim makespan {r['random_traffic']['sim_us_makespan']:.1f} us)",
+    ]
+    return "\n".join(lines)
+
+
+def write_bench(payload: dict, path: str = "BENCH_perf.json") -> str:
+    """Write the payload as pretty-printed JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

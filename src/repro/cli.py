@@ -7,6 +7,7 @@ Usage::
     python -m repro figures --only fig3     # one figure family
     python -m repro strategies              # list the strategy database
     python -m repro profiles                # list NIC profiles
+    python -m repro perf                    # host-side wall-clock benchmarks
 
 The output is the same tables the benchmark harness prints (size rows, one
 column per backend, peak/mean gains), suitable for diffing against
@@ -58,6 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("profiles", help="list calibrated NIC profiles")
     sub.add_parser("validate",
                    help="measure every paper claim and print PASS/FAIL")
+
+    perf = sub.add_parser(
+        "perf",
+        help="run host-side wall-clock microbenchmarks of the engine")
+    perf.add_argument("--quick", action="store_true",
+                      help="short runs (CI smoke; noisier numbers)")
+    perf.add_argument("--out", default="BENCH_perf.json", metavar="PATH",
+                      help="where to write the JSON payload "
+                           "(default: BENCH_perf.json)")
+    perf.add_argument("--backlog", type=int, default=1000,
+                      help="held window depth for the window-ops bench")
 
     report = sub.add_parser(
         "report",
@@ -228,6 +240,15 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         _profiles(out)
     elif args.command == "report":
         return _report(args, out)
+    elif args.command == "perf":
+        from repro.bench.perf import render_perf, run_suite, write_bench
+
+        if args.backlog < 1:
+            raise SystemExit("--backlog must be >= 1")
+        payload = run_suite(quick=args.quick, backlog=args.backlog)
+        _print(out, render_perf(payload))
+        path = write_bench(payload, args.out)
+        _print(out, f"wrote {path}")
     elif args.command == "validate":
         from repro.bench.claims import evaluate_claims, render_verdicts
 

@@ -227,13 +227,15 @@ class NmadEngine:
         """Cancel a send that has not been scheduled yet.
 
         A unique capability of the decoupled design: until a strategy
-        commits a wrap to a physical packet it merely sits in the
-        optimization window, so cancellation is a list removal.  Returns
-        ``True`` if the wrap was still in the window (the request's
-        completion then *fails* with :class:`MpiError` so waiters are not
-        left hanging), ``False`` if the data already left or is mid-flight
-        (rendezvous announced) — too late, like MPI_Cancel on a matched
-        send.
+        commits a wrap to a physical packet *that a NIC accepted*, the data
+        has not left the node, so cancellation can still succeed.  That
+        covers a wrap sitting in the optimization window and a wrap held in
+        an anticipated (pre-synthesized, paper §3.2) packet — the latter is
+        unwound back into the window first.  Returns ``True`` in both cases
+        (the request's completion then *fails* with :class:`MpiError` so
+        waiters are not left hanging), ``False`` if the data already left
+        or is mid-flight (rendezvous announced) — too late, like MPI_Cancel
+        on a matched send.
 
         Because the wrap already consumed a sequence number in its
         (dest, flow) stream, a tiny tombstone record travels in its place
@@ -245,7 +247,11 @@ class NmadEngine:
         try:
             self.window.take(wrap)
         except StrategyError:
-            return False
+            if not self.transfer.uncommit_anticipated(wrap):
+                return False
+            # The wrap (and any packet-mates) are back in the window; the
+            # tombstone submission below re-kicks scheduling for the rest.
+            self.window.take(wrap)
         if wrap.completion is not None and not wrap.completion.triggered:
             err = MpiError(f"send cancelled: {wrap!r}")
             wrap.completion.fail(err)
@@ -278,7 +284,12 @@ class NmadEngine:
                 f"(src={inc.src} flow={inc.flow} tag={inc.tag}) into a "
                 f"{req.capacity}B receive"
             )
+            # Defused like cancel() and TransferLayer._plan_failed: the
+            # non-raising failed/error API must stay usable — an application
+            # polling via test() would otherwise crash at run() end with the
+            # unobserved-failure re-raise despite having handled the error.
             req.done.fail(err)
+            req.done.defuse()
             return
         if isinstance(inc.item, RdvReqItem):
             self.rendezvous.grant(inc.item, req)

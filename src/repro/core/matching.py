@@ -133,6 +133,13 @@ class Matcher:
             self.tracer.emit(inc.arrived_at, self.name, "skip",
                              src=inc.src, flow=inc.flow, seq=inc.seq)
             return
+        # Watchers fire on *admission*, before matching: a probe reports
+        # that a message arrived, never that it is reserved.  If a
+        # pre-posted receive consumes the descriptor in the same instant,
+        # the prober still wakes with its metadata — the MPI probe/recv
+        # race, where another receive may always steal the probed message —
+        # instead of waiting forever on a watcher tuple that leaks.
+        self._wake_watchers(inc)
         for idx, req in enumerate(self._posted):
             if req.flow == inc.flow and req.matches(inc.src, inc.tag):
                 del self._posted[idx]
@@ -145,7 +152,6 @@ class Matcher:
         self.unexpected_total += 1
         self.tracer.emit(inc.arrived_at, self.name, "unexpected",
                          src=inc.src, flow=inc.flow, tag=inc.tag, seq=inc.seq)
-        self._wake_watchers(inc)
 
     # -- receive posting ----------------------------------------------------
     def post(self, req: RecvRequest) -> None:
@@ -176,9 +182,15 @@ class Matcher:
         return None
 
     def watch(self, src: int, flow: int, tag: int, event) -> None:
-        """Trigger ``event`` (with the descriptor) when a match is probeable.
+        """Trigger ``event`` (with the descriptor) when a match arrives.
 
-        Fires immediately if a matching descriptor is already queued.
+        Fires immediately if a matching descriptor is already queued,
+        otherwise when the next matching descriptor is *admitted* — even if
+        a pre-posted receive consumes it in the same instant.  Probing
+        reports arrival, not reservation: like MPI_Probe, a concurrent
+        receive may consume the probed message before the prober's own
+        receive posts, in which case that receive simply waits for the next
+        match.
         """
         existing = self.peek(src, flow, tag)
         if existing is not None:
@@ -210,3 +222,7 @@ class Matcher:
     @property
     def n_parked(self) -> int:
         return sum(len(p) for p in self._parked.values())
+
+    @property
+    def n_watchers(self) -> int:
+        return len(self._watchers)

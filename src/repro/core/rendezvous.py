@@ -145,6 +145,20 @@ class RendezvousManager:
             seq=wrap.seq, handle=handle, nbytes=wrap.length,
         )
 
+    def retract(self, handle: int) -> Optional[PacketWrap]:
+        """Undo an announcement whose packet never left the node.
+
+        Only valid while the announcement sits in an *anticipated*
+        (pre-synthesized, not yet handed to a NIC) packet: the peer has
+        seen nothing, so the transfer simply ceases to exist.  Returns the
+        wrap, or ``None`` if the handle is unknown/already granted.
+        """
+        state = self._pending.pop(handle, None)
+        if state is None:
+            return None
+        self.handshakes -= 1
+        return state.wrap
+
     def fix_origin(self, handle: int, rail: int) -> None:
         """Record the rail an *anticipated* announcement actually left on.
 

@@ -43,7 +43,9 @@ class AdaptiveStrategy(Strategy):
         return False
 
     def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
-        if len(ctx.window) < self.backlog_watermark:
+        # backlog() reads the window's incrementally-maintained wrap count,
+        # so the mode decision itself costs O(1) per pull.
+        if ctx.window.backlog() < self.backlog_watermark:
             self.fifo_pulls += 1
             return self._fifo.select(ctx)
         self.agg_pulls += 1

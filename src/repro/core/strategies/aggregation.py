@@ -67,12 +67,20 @@ class AggregationStrategy(Strategy):
     multirail_bulk = False
 
     def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
-        candidates = list(ctx.window.eligible(ctx.rail))
-        if not candidates:
-            return None
         if self.by_priority:
-            candidates = reorder_by_priority(candidates)
-        dest = first_sendable_dest(candidates, ctx.sent_wraps)
+            # Priority reordering is a global permutation of the eligible
+            # list, so it has to see every wrap.
+            candidates = reorder_by_priority(list(ctx.window.eligible(ctx.rail)))
+            dest = first_sendable_dest(candidates, ctx.sent_wraps)
+        else:
+            # Submission order: elect the destination from the list head,
+            # then aggregate over the per-destination index only — queued
+            # traffic towards other nodes is never scanned.
+            dest = first_sendable_dest(
+                ctx.window.eligible(ctx.rail), ctx.sent_wraps)
+            if dest is None:
+                return None
+            candidates = ctx.window.eligible_for_dest(ctx.rail, dest)
         if dest is None:
             return None
         choice = plan_aggregate(

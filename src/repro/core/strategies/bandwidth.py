@@ -53,12 +53,17 @@ class BandwidthStrategy(AggregationStrategy):
         return ctx.rdv_threshold // 2
 
     def _should_hold(self, ctx: SchedulingContext) -> bool:
-        candidates = [w for w in ctx.window.eligible(ctx.rail)
-                      if deps_satisfied(w, ctx.sent_wraps)]
-        if not candidates:
+        # Head destination of the eligible list (deps-satisfied wraps only),
+        # then examine that destination's pending set via the window's
+        # per-dest index — no scan over other destinations' traffic.
+        dest = first_sendable_dest(ctx.window.eligible(ctx.rail),
+                                   ctx.sent_wraps)
+        if dest is None:
             return False
-        dest = first_sendable_dest(candidates, ctx.sent_wraps)
-        mine = [w for w in candidates if w.dest == dest]
+        mine = [w for w in ctx.window.eligible_for_dest(ctx.rail, dest)
+                if deps_satisfied(w, ctx.sent_wraps)]
+        if not mine:
+            return False
         if any(w.is_control or w.length > ctx.rdv_threshold for w in mine):
             return False  # grants / announcements must not wait
         pending = sum(w.length for w in mine)
@@ -74,11 +79,13 @@ class BandwidthStrategy(AggregationStrategy):
         return super().select(ctx)
 
     def hold_until(self, ctx: SchedulingContext) -> Optional[float]:
-        candidates = [w for w in ctx.window.eligible(ctx.rail)
-                      if deps_satisfied(w, ctx.sent_wraps)]
-        if not candidates:
+        oldest = min(
+            (w.submitted_at for w in ctx.window.eligible(ctx.rail)
+             if deps_satisfied(w, ctx.sent_wraps)),
+            default=None,
+        )
+        if oldest is None:
             return None
-        oldest = min(w.submitted_at for w in candidates)
         return oldest + self.hold_us
 
     def describe(self) -> str:

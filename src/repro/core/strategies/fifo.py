@@ -25,6 +25,9 @@ class FifoStrategy(Strategy):
     name = "fifo"
 
     def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+        # Lazy head scan: terminates at the first sendable wrap, so the
+        # direct-mapping pull stays O(1) unless dependency chains block the
+        # list head.
         for wrap in ctx.window.eligible(ctx.rail):
             if not deps_satisfied(wrap, ctx.sent_wraps):
                 continue

@@ -26,6 +26,7 @@ capabilities" — without the capability the accumulation is paid in copies).
 from __future__ import annotations
 
 import math
+from functools import partial
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.matching import Incoming
@@ -56,6 +57,14 @@ class TransferLayer:
         self.nics = list(engine.node.nics)
         self.sent_wraps: set[int] = set()
         self._pull_pending = [False] * len(self.nics)
+        # One pull thunk and one reusable SchedulingContext per rail: the
+        # pull path runs once per NIC refill (the paper's §5.1 critical-path
+        # cost), so it should not rebuild a closure and a context object
+        # every time.
+        self._pull_fns = [partial(self._pull, rail)
+                          for rail in range(len(self.nics))]
+        self._contexts: list[Optional[SchedulingContext]] = \
+            [None] * len(self.nics)
         # Paper §3.2's second/third dispatch policies: at most one packet is
         # pre-synthesized while every NIC is busy, waiting to be re-fed.
         self._anticipated: Optional[tuple[SendPlan, list]] = None
@@ -74,6 +83,34 @@ class TransferLayer:
         """True when a prepared packet is waiting for a NIC (quiesce check)."""
         return self._anticipated is not None
 
+    def uncommit_anticipated(self, wrap) -> bool:
+        """Unwind the anticipated packet if it holds ``wrap``.
+
+        A wrap inside a pre-synthesized packet has been taken from the
+        window but has *not* left the node — no NIC accepted it yet — so a
+        cancellation can still succeed.  The whole prepared packet is
+        dissolved: announcements are retracted from the rendezvous table
+        (the peer never saw them) and every wrap returns to the window for
+        the next pull to re-plan.  Returns ``True`` if ``wrap`` was held.
+        """
+        if self._anticipated is None:
+            return False
+        plan, items = self._anticipated
+        held = plan.taken + plan.announced
+        if all(w.wrap_id != wrap.wrap_id for w in held):
+            return False
+        self._anticipated = None
+        for item in items:
+            if isinstance(item, RdvReqItem):
+                self.engine.rendezvous.retract(item.handle)
+        for w in held:
+            self.engine.window.restore(w)
+        self.engine.tracer.emit(self.engine.sim.now,
+                                f"node{self.engine.node_id}.transfer",
+                                "unanticipate", dest=plan.dest,
+                                items=len(items))
+        return True
+
     # -- refill machinery -----------------------------------------------------
     def _rail_ok(self, rail: int) -> bool:
         """May work still be scheduled on this rail (not quarantined)?"""
@@ -82,12 +119,13 @@ class TransferLayer:
     def kick(self) -> None:
         """New work exists: schedule a pull on every currently idle NIC."""
         any_idle = False
+        schedule = self.engine.sim.schedule
         for nic in self.nics:
             if not self._rail_ok(nic.rail):
                 continue
             if nic.idle and not self._pull_pending[nic.rail]:
                 self._pull_pending[nic.rail] = True
-                self.engine.sim.schedule(0.0, lambda r=nic.rail: self._pull(r))
+                schedule(0.0, self._pull_fns[nic.rail])
                 any_idle = True
         if not any_idle:
             self._maybe_prepare()
@@ -107,16 +145,24 @@ class TransferLayer:
         return min(rails, key=lambda r: self.nics[r].profile.rdv_threshold)
 
     def _context(self, rail: int) -> SchedulingContext:
-        params = self.engine.params
-        return SchedulingContext(
-            window=self.engine.window,
-            rail=rail,
-            nic_profile=self.nics[rail].profile,
-            hdr=params.hdr,
-            now=self.engine.sim.now,
-            src_node=self.engine.node_id,
-            sent_wraps=self.sent_wraps,
-        )
+        # All context fields except the clock are fixed per rail for the
+        # lifetime of the engine (sent_wraps is the live set object), so the
+        # context is built once per rail and only ``now`` is refreshed.
+        ctx = self._contexts[rail]
+        if ctx is None:
+            ctx = SchedulingContext(
+                window=self.engine.window,
+                rail=rail,
+                nic_profile=self.nics[rail].profile,
+                hdr=self.engine.params.hdr,
+                now=self.engine.sim.now,
+                src_node=self.engine.node_id,
+                sent_wraps=self.sent_wraps,
+            )
+            self._contexts[rail] = ctx
+        else:
+            ctx.now = self.engine.sim.now
+        return ctx
 
     def _maybe_prepare(self) -> None:
         """Pre-synthesize one ready-to-send packet (anticipation policies)."""
@@ -179,7 +225,7 @@ class TransferLayer:
         if deadline is not None and not self._pull_pending[rail]:
             self._pull_pending[rail] = True
             delay = max(0.0, deadline - self.engine.sim.now)
-            self.engine.sim.schedule(delay, lambda r=rail: self._pull(r))
+            self.engine.sim.schedule(delay, self._pull_fns[rail])
 
     # -- sending --------------------------------------------------------------
     def _materialize(self, plan: SendPlan, rail: int) -> list:

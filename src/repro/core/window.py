@@ -10,14 +10,19 @@ any rail ("for automatized load-balancing among all the NICs, possibly from
 heterogeneous technologies"), and per-rail **dedicated lists** for wraps the
 application pinned to a specific network.
 
-It also holds the queue of *granted* rendezvous transfers whose bulk chunks
-are ready to be streamed (those need no optimization decision — any idle
-capable NIC pulls the next chunk).
+Every operation on the strategy pull path is O(1) or O(answer size): the
+lists are insertion-ordered dicts keyed by ``wrap_id`` so :meth:`take` is a
+hash delete instead of a linear scan, and byte/wrap totals — global, per
+rail, per destination — are maintained incrementally on submit/take rather
+than recomputed.  The paper's pitch (§5.1) is that the scheduler adds only a
+tiny constant cost per NIC refill; with linear accounting that constant
+would silently grow with backlog depth, i.e. exactly when the window is
+doing its job.  A per-destination index lets strategies enumerate the wraps
+towards one node without scanning every other node's traffic.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Callable, Iterator, Optional
 
 from repro.core.packet import PacketWrap
@@ -33,8 +38,22 @@ class OptimizationWindow:
         if n_rails < 1:
             raise ValueError("window needs at least one rail")
         self.n_rails = n_rails
-        self._common: deque[PacketWrap] = deque()
-        self._dedicated: list[deque[PacketWrap]] = [deque() for _ in range(n_rails)]
+        # Insertion-ordered storage: wrap_id -> wrap.  Python dicts preserve
+        # submission order and delete in O(1), which is what the old
+        # deque.remove() take path could not do.
+        self._common: dict[int, PacketWrap] = {}
+        self._dedicated: list[dict[int, PacketWrap]] = [
+            {} for _ in range(n_rails)
+        ]
+        # Per-destination index over *all* lists: dest -> {wrap_id: wrap}.
+        self._by_dest: dict[int, dict[int, PacketWrap]] = {}
+        # Incremental counters (kept exactly in sync by _insert/_remove; the
+        # property tests compare them against brute-force recomputation).
+        self._count = 0
+        self._total_bytes = 0
+        self._common_bytes = 0
+        self._dedicated_bytes = [0] * n_rails
+        self._dest_bytes: dict[int, int] = {}
         # Peak-occupancy statistics for the ablation benches.
         self.peak_wraps = 0
         self.total_submitted = 0
@@ -42,19 +61,51 @@ class OptimizationWindow:
     # -- submission -----------------------------------------------------------
     def submit(self, wrap: PacketWrap) -> None:
         """Insert a wrap on its list (dedicated if ``wrap.rail`` is pinned)."""
-        if wrap.rail is not None:
-            if not 0 <= wrap.rail < self.n_rails:
+        self._insert(wrap)
+        self.total_submitted += 1
+        if self._count > self.peak_wraps:
+            self.peak_wraps = self._count
+
+    def restore(self, wrap: PacketWrap) -> None:
+        """Re-insert a wrap that was taken but never left the node.
+
+        Used when an *anticipated* (pre-synthesized but not yet handed to a
+        NIC) packet is unwound, e.g. because one of its wraps was cancelled.
+        Unlike :meth:`submit` this does not count as a new submission.
+        """
+        self._insert(wrap)
+        if self._count > self.peak_wraps:
+            self.peak_wraps = self._count
+
+    def _insert(self, wrap: PacketWrap) -> None:
+        rail = wrap.rail
+        if rail is not None:
+            if not 0 <= rail < self.n_rails:
                 raise StrategyError(
-                    f"wrap pinned to rail {wrap.rail}, window has "
+                    f"wrap pinned to rail {rail}, window has "
                     f"{self.n_rails} rails"
                 )
-            self._dedicated[wrap.rail].append(wrap)
+            target = self._dedicated[rail]
         else:
-            self._common.append(wrap)
-        self.total_submitted += 1
-        occupancy = len(self)
-        if occupancy > self.peak_wraps:
-            self.peak_wraps = occupancy
+            target = self._common
+        wid = wrap.wrap_id
+        if wid in target:
+            raise StrategyError(f"{wrap!r} is already in the window")
+        target[wid] = wrap
+        length = wrap.length
+        dest = wrap.dest
+        self._count += 1
+        self._total_bytes += length
+        if rail is None:
+            self._common_bytes += length
+        else:
+            self._dedicated_bytes[rail] += length
+        by_dest = self._by_dest.get(dest)
+        if by_dest is None:
+            by_dest = self._by_dest[dest] = {}
+            self._dest_bytes[dest] = 0
+        by_dest[wid] = wrap
+        self._dest_bytes[dest] += length
 
     # -- inspection (strategy input, paper §3.2) -------------------------------
     def eligible(self, rail: int) -> Iterator[PacketWrap]:
@@ -65,35 +116,67 @@ class OptimizationWindow:
         """
         if not 0 <= rail < self.n_rails:
             raise StrategyError(f"no rail {rail} in window")
-        yield from self._dedicated[rail]
-        yield from self._common
+        yield from self._dedicated[rail].values()
+        yield from self._common.values()
+
+    def eligible_for_dest(self, rail: int, dest: int) -> list[PacketWrap]:
+        """Wraps towards ``dest`` a NIC on ``rail`` may send.
+
+        Same ordering contract as :meth:`eligible` (dedicated first, then
+        common, each in submission order) but computed from the
+        per-destination index in O(wraps towards ``dest``) — a strategy
+        synthesizing a point-to-point packet never scans the traffic queued
+        for other nodes.
+        """
+        if not 0 <= rail < self.n_rails:
+            raise StrategyError(f"no rail {rail} in window")
+        by_dest = self._by_dest.get(dest)
+        if not by_dest:
+            return []
+        pinned: list[PacketWrap] = []
+        common: list[PacketWrap] = []
+        for wrap in by_dest.values():
+            if wrap.rail is None:
+                common.append(wrap)
+            elif wrap.rail == rail:
+                pinned.append(wrap)
+        pinned.extend(common)
+        return pinned
+
+    def dests(self) -> Iterator[int]:
+        """Destinations with at least one waiting wrap."""
+        return iter(self._by_dest)
 
     def __len__(self) -> int:
-        return len(self._common) + sum(len(d) for d in self._dedicated)
+        return self._count
 
     @property
     def empty(self) -> bool:
-        return len(self) == 0
+        return self._count == 0
 
     def pending_bytes(self, rail: Optional[int] = None) -> int:
         """Total payload bytes waiting (for one rail's view, or globally)."""
         if rail is None:
-            wraps: Iterator[PacketWrap] = iter(self._common)
-            total = sum(w.length for w in wraps)
-            total += sum(w.length for d in self._dedicated for w in d)
-            return total
-        return sum(w.length for w in self.eligible(rail))
+            return self._total_bytes
+        if not 0 <= rail < self.n_rails:
+            raise StrategyError(f"no rail {rail} in window")
+        return self._common_bytes + self._dedicated_bytes[rail]
 
     def backlog(self, dest: Optional[int] = None) -> int:
         """Number of waiting wraps (optionally only towards ``dest``)."""
         if dest is None:
-            return len(self)
-        return sum(1 for w in self._all() if w.dest == dest)
+            return self._count
+        by_dest = self._by_dest.get(dest)
+        return len(by_dest) if by_dest is not None else 0
+
+    def backlog_bytes(self, dest: int) -> int:
+        """Payload bytes waiting towards ``dest``."""
+        return self._dest_bytes.get(dest, 0)
 
     def _all(self) -> Iterator[PacketWrap]:
-        yield from self._common
+        yield from self._common.values()
         for d in self._dedicated:
-            yield from d
+            yield from d.values()
 
     # -- removal (strategy commit) ----------------------------------------------
     def take(self, wrap: PacketWrap) -> None:
@@ -102,13 +185,32 @@ class OptimizationWindow:
         Raises :class:`StrategyError` if the wrap is not in the window —
         strategies may only send what actually exists.
         """
-        target = self._dedicated[wrap.rail] if wrap.rail is not None else self._common
-        try:
-            target.remove(wrap)
-        except ValueError:
+        rail = wrap.rail
+        if rail is not None and not 0 <= rail < self.n_rails:
             raise StrategyError(
                 f"strategy tried to take {wrap!r} which is not in the window"
-            ) from None
+            )
+        target = self._dedicated[rail] if rail is not None else self._common
+        wid = wrap.wrap_id
+        if target.pop(wid, None) is None:
+            raise StrategyError(
+                f"strategy tried to take {wrap!r} which is not in the window"
+            )
+        length = wrap.length
+        dest = wrap.dest
+        self._count -= 1
+        self._total_bytes -= length
+        if rail is None:
+            self._common_bytes -= length
+        else:
+            self._dedicated_bytes[rail] -= length
+        by_dest = self._by_dest[dest]
+        del by_dest[wid]
+        if by_dest:
+            self._dest_bytes[dest] -= length
+        else:
+            del self._by_dest[dest]
+            del self._dest_bytes[dest]
 
     def drain_matching(self, pred: Callable[[PacketWrap], bool]) -> list[PacketWrap]:
         """Remove and return every wrap satisfying ``pred`` (error paths)."""

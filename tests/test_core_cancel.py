@@ -97,3 +97,79 @@ class TestCancel:
 
         first, second = sim.run_process(app())
         assert first is True and second is False
+
+
+class TestCancelAnticipated:
+    """Cancelling a wrap held in a pre-synthesized (anticipated) packet.
+
+    The wrap has been taken from the window but no NIC accepted the packet:
+    the data has not left the node, so cancel() must still succeed by
+    unwinding the prepared packet (regression: it returned False, claiming
+    "data already left").
+    """
+
+    def make_pair(self, params):
+        sim = Simulator()
+        cluster = Cluster(sim, rails=(MX_MYRI10G,))
+        e0 = NmadEngine(cluster.node(0), params=params)
+        e1 = NmadEngine(cluster.node(1), params=params)
+        return sim, e0, e1
+
+    def test_cancel_wrap_in_anticipated_packet(self):
+        from repro.core import EngineParams
+
+        sim, e0, e1 = self.make_pair(EngineParams(dispatch_policy="anticipate"))
+
+        def app():
+            r0 = e1.irecv(src=0, tag=0)
+            r2 = e1.irecv(src=0, tag=2)
+            e0.isend(1, VirtualData(24_000), tag=0)   # NIC busy
+            yield sim.timeout(0.5)
+            victim = e0.isend(1, b"victim", tag=1)
+            # The submit ran the optimizer off the critical path: the wrap
+            # now sits in the anticipated packet, not the window.
+            assert e0.transfer.has_anticipated
+            assert e0.window.empty
+            cancelled = e0.cancel(victim)
+            # The tombstone submission re-armed anticipation, but the
+            # victim itself is gone from the engine.
+            assert victim.failed
+            e0.isend(1, b"after", tag=2)
+            yield sim.all_of([r0.done, r2.done])
+            return cancelled, r2
+
+        cancelled, r2 = sim.run_process(app())
+        assert cancelled is True
+        assert r2.data.tobytes() == b"after"   # stream flows past the hole
+        assert e0.quiesced() and e1.quiesced()
+
+    def test_cancel_unwinds_packet_mates_and_announcements(self):
+        from repro.core import EngineParams
+
+        # backlog policy with threshold 2: the prepared packet aggregates
+        # the small victim with the rendezvous announcement of a large
+        # send.  Cancelling the victim must retract the announcement and
+        # re-plan the large transfer, which still completes.
+        params = EngineParams(dispatch_policy="backlog",
+                              backlog_flush_threshold=2)
+        sim, e0, e1 = self.make_pair(params)
+
+        def app():
+            r0 = e1.irecv(src=0, tag=0)
+            rbig = e1.irecv(src=0, tag=3)
+            e0.isend(1, VirtualData(24_000), tag=0)   # NIC busy
+            yield sim.timeout(0.5)
+            victim = e0.isend(1, b"victim", tag=1)
+            big = e0.isend(1, VirtualData(100_000), tag=3)
+            assert e0.transfer.has_anticipated
+            cancelled = e0.cancel(victim)
+            yield sim.all_of([r0.done, rbig.done])
+            return cancelled, big, rbig
+
+        cancelled, big, rbig = sim.run_process(app())
+        assert cancelled is True
+        assert big.complete and not big.failed
+        assert rbig.data.nbytes == 100_000
+        # One retracted announcement + one live re-announcement.
+        assert e0.rendezvous.handshakes == 1
+        assert e0.quiesced() and e1.quiesced()

@@ -126,6 +126,19 @@ class TestEagerTransfer:
         msg = sim.run_process(app())
         assert msg is not None and "truncation" in msg
 
+    def test_truncation_observed_by_polling_does_not_crash_run(self):
+        # Regression: an application that detects truncation via the
+        # non-raising failed/error API only (MPI_Test style, never waiting
+        # on done) must not crash at run() end with the unobserved-failure
+        # re-raise.
+        sim, _, (e0, e1) = make_pair()
+        req = e1.irecv(src=0, nbytes=4)
+        e0.isend(1, b"way too long")
+        sim.run()  # the old code re-raised the MpiError here
+        assert req.failed
+        assert isinstance(req.error, MpiError)
+        assert "truncation" in str(req.error)
+
     def test_self_send_rejected(self):
         _, _, (e0, _) = make_pair()
         with pytest.raises(NetworkError, match="self-send"):

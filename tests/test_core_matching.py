@@ -165,3 +165,53 @@ class TestStats:
         assert matcher.n_posted == 0
         matcher.post(recv_req(sim, tag=55))
         assert matcher.n_posted == 1
+
+
+class TestWatchers:
+    """watch() semantics: probing reports arrival, never reservation."""
+
+    def test_fires_on_unexpected_arrival(self, sim, matcher):
+        evt = sim.event()
+        matcher.watch(ANY, 0, ANY, evt)
+        matcher.deliver(seg(tag=3, payload=b"hello"))
+        assert evt.triggered and evt.ok
+        assert evt.value.tag == 3 and evt.value.nbytes == 5
+        assert matcher.n_watchers == 0
+
+    def test_fires_immediately_on_queued_message(self, sim, matcher):
+        matcher.deliver(seg(tag=3))
+        evt = sim.event()
+        matcher.watch(ANY, 0, 3, evt)
+        assert evt.triggered and evt.ok
+        assert matcher.n_watchers == 0
+
+    def test_fires_when_preposted_receive_consumes(self, sim, matcher,
+                                                   matched):
+        # Regression: the watcher only woke on the unexpected-queue path, so
+        # a probe racing a pre-posted receive waited forever and its
+        # watcher tuple leaked.
+        req = recv_req(sim)
+        matcher.post(req)
+        evt = sim.event()
+        matcher.watch(ANY, 0, ANY, evt)
+        matcher.deliver(seg(tag=5, payload=b"stolen"))
+        assert len(matched) == 1 and matched[0][1] is req  # receive matched
+        assert evt.triggered and evt.ok                    # prober still woke
+        assert evt.value.tag == 5 and evt.value.nbytes == 6
+        assert matcher.n_watchers == 0                     # nothing leaked
+
+    def test_non_matching_watcher_stays(self, sim, matcher):
+        evt = sim.event()
+        matcher.watch(ANY, 0, 9, evt)
+        matcher.post(recv_req(sim))
+        matcher.deliver(seg(tag=3))
+        assert not evt.triggered
+        assert matcher.n_watchers == 1
+
+    def test_skip_tombstone_never_wakes_watchers(self, sim, matcher):
+        evt = sim.event()
+        matcher.watch(ANY, 0, ANY, evt)
+        matcher.deliver(Incoming(src=0, flow=0, tag=0, seq=0, nbytes=0,
+                                 item=None, is_skip=True))
+        assert not evt.triggered
+        assert matcher.n_watchers == 1

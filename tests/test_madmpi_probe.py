@@ -140,3 +140,26 @@ class TestWaitAny:
 
         with pytest.raises(MpiError):
             sim.run_process(app())
+
+
+class TestProbeRecvRace:
+    def test_blocking_probe_wakes_despite_preposted_recv(self):
+        # Regression: a watch()-based blocking probe whose message is
+        # consumed by a pre-posted receive used to wait forever.
+        sim, _, (m0, m1) = make_pair("madmpi")
+
+        def prober():
+            src, tag, nbytes = yield from m1.probe(source=0)
+            return src, tag, nbytes
+
+        def app():
+            rreq = m1.irecv(source=0, tag=0)
+            p = sim.spawn(prober())
+            yield sim.timeout(5.0)
+            m0.isend(b"raced", dest=1, tag=0)
+            yield sim.all_of([rreq.done, p])
+            return rreq, p.value
+
+        rreq, probed = sim.run_process(app())
+        assert rreq.data.tobytes() == b"raced"
+        assert probed == (0, 0, 5)
