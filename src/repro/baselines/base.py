@@ -39,7 +39,7 @@ from __future__ import annotations
 import itertools
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.core.data import SegmentData, VirtualData, as_data
 from repro.core.matching import Incoming, Matcher
@@ -55,7 +55,7 @@ from repro.sim import Tracer
 
 __all__ = ["BaselineParams", "BaselineMpi"]
 
-BufferLike = Union[SegmentData, bytes, bytearray, memoryview, int]
+BufferLike = SegmentData | bytes | bytearray | memoryview | int
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,7 @@ class BaselineParams:
     header_bytes: int            # per-message wire header
     eager_threshold: int         # eager/rendezvous switch point
     rdv_chunk_bytes: int = 512 * 1024
-    dt_pipeline_chunk: Optional[int] = None  # None = pack-all-then-send
+    dt_pipeline_chunk: int | None = None  # None = pack-all-then-send
 
     def __post_init__(self) -> None:
         if self.sw_overhead_us < 0 or self.header_bytes < 0:
@@ -89,7 +89,7 @@ class _Eager:
     tag: int
     seq: int
     data: SegmentData
-    unpack_blocks: Optional[list[int]] = None  # packed datatype stream
+    unpack_blocks: list[int] | None = None  # packed datatype stream
 
 
 @dataclass
@@ -100,7 +100,7 @@ class _RdvReq:
     seq: int
     handle: int
     nbytes: int
-    unpack_blocks: Optional[list[int]] = None
+    unpack_blocks: list[int] | None = None
 
 
 @dataclass
@@ -142,7 +142,7 @@ class _RdvRecv:
                  "unpack_blocks", "unpack_free_at")
 
     def __init__(self, req: RecvRequest, total: int, tag: int, src: int,
-                 unpack_blocks: Optional[list[int]]) -> None:
+                 unpack_blocks: list[int] | None) -> None:
         self.req = req
         self.total = total
         self.received = 0
@@ -163,7 +163,7 @@ class BaselineMpi:
     backend_name = "baseline"
 
     def __init__(self, node: Node, params: BaselineParams,
-                 world: Communicator, tracer: Optional[Tracer] = None) -> None:
+                 world: Communicator, tracer: Tracer | None = None) -> None:
         self.node = node
         self.sim = node.sim
         self.params = params
@@ -188,8 +188,8 @@ class BaselineMpi:
         data: BufferLike,
         dest: int,
         tag: int = 0,
-        comm: Optional[Communicator] = None,
-        datatype: Optional[Datatype] = None,
+        comm: Communicator | None = None,
+        datatype: Datatype | None = None,
         priority: int = 0,  # accepted for interface parity; ignored
     ) -> MpiRequest:
         """Nonblocking send: immediately mapped onto NIC commands."""
@@ -209,9 +209,9 @@ class BaselineMpi:
         dest_node: int,
         tag: int,
         flow: int,
-        unpack_blocks: Optional[list[int]],
+        unpack_blocks: list[int] | None,
         pack_delay_us: float,
-        pipeline_chunk: Optional[int] = None,
+        pipeline_chunk: int | None = None,
     ) -> MpiRequest:
         """Send a contiguous byte stream (raw message or packed datatype)."""
         seq = self._seq[(dest_node, flow)]
@@ -284,7 +284,7 @@ class BaselineMpi:
             pipeline_chunk=self.params.dt_pipeline_chunk,
         )
 
-    def _post(self, frame: Frame, req: Optional[MpiRequest]) -> None:
+    def _post(self, frame: Frame, req: MpiRequest | None) -> None:
         self.frames_sent += 1
         done = self.nic.post_send(frame, cpu_gap_us=self.params.sw_overhead_us)
         if req is not None:
@@ -296,9 +296,9 @@ class BaselineMpi:
         self,
         source: int = ANY,
         tag: int = ANY,
-        comm: Optional[Communicator] = None,
-        nbytes: Optional[int] = None,
-        datatype: Optional[Datatype] = None,
+        comm: Communicator | None = None,
+        nbytes: int | None = None,
+        datatype: Datatype | None = None,
     ) -> MpiRequest:
         """Post a receive.  Typed receives land packed and pay the unpack."""
         comm = comm if comm is not None else self.world
@@ -314,7 +314,9 @@ class BaselineMpi:
         def _finish(evt):
             if not evt.ok:
                 evt.defuse()
-                req.done.fail(evt._exc)
+                exc = evt.exception
+                assert exc is not None
+                req.done.fail(exc)
                 return
             assert sub.actual_src is not None
             req.data = sub.data
@@ -340,7 +342,7 @@ class BaselineMpi:
 
     # -- probing (same semantics as MAD-MPI) --------------------------------
     def iprobe(self, source: int = ANY, tag: int = ANY,
-               comm: Optional[Communicator] = None):
+               comm: Communicator | None = None):
         """Nonblocking probe: (source_rank, tag, nbytes) or None."""
         comm = comm if comm is not None else self.world
         src_node = ANY if source == ANY else comm.node_of(source)
@@ -350,7 +352,7 @@ class BaselineMpi:
         return comm.rank_of(inc.src), inc.tag, inc.nbytes
 
     def probe(self, source: int = ANY, tag: int = ANY,
-              comm: Optional[Communicator] = None):
+              comm: Communicator | None = None):
         """Blocking probe (process style)."""
         comm = comm if comm is not None else self.world
         src_node = ANY if source == ANY else comm.node_of(source)
@@ -361,8 +363,8 @@ class BaselineMpi:
 
     def sendrecv(self, send_data: BufferLike, dest: int, source: int = ANY,
                  sendtag: int = 0, recvtag: int = ANY,
-                 comm: Optional[Communicator] = None,
-                 nbytes: Optional[int] = None):
+                 comm: Communicator | None = None,
+                 nbytes: int | None = None):
         """MPI_Sendrecv: simultaneous, deadlock-free exchange."""
         rreq = self.irecv(source=source, tag=recvtag, comm=comm,
                           nbytes=nbytes)
@@ -394,16 +396,16 @@ class BaselineMpi:
         return request.complete
 
     def send(self, data: BufferLike, dest: int, tag: int = 0,
-             comm: Optional[Communicator] = None,
-             datatype: Optional[Datatype] = None):
+             comm: Communicator | None = None,
+             datatype: Datatype | None = None):
         req = self.isend(data, dest, tag=tag, comm=comm, datatype=datatype)
         yield req.done
         return req
 
     def recv(self, source: int = ANY, tag: int = ANY,
-             comm: Optional[Communicator] = None,
-             nbytes: Optional[int] = None,
-             datatype: Optional[Datatype] = None):
+             comm: Communicator | None = None,
+             nbytes: int | None = None,
+             datatype: Datatype | None = None):
         req = self.irecv(source=source, tag=tag, comm=comm, nbytes=nbytes,
                          datatype=datatype)
         yield req.done

@@ -8,7 +8,6 @@ dispatch derived-datatype path of paper §5.3 / reference [5].
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.baselines.base import BaselineMpi, BaselineParams
 from repro.madmpi.comm import Communicator
@@ -41,8 +40,8 @@ class MpichMpi(BaselineMpi):
     backend_name = "MPICH"
 
     def __init__(self, node: Node, world: Communicator,
-                 params: Optional[BaselineParams] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 params: BaselineParams | None = None,
+                 tracer: Tracer | None = None) -> None:
         if params is None:
             params = MPICH_MX if node.nic(0).profile.tech == "mx" \
                 else MPICH_QUADRICS

@@ -11,7 +11,6 @@ datatype yet still ~2x slower than MAD-MPI's zero-copy schedule.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.baselines.base import BaselineMpi, BaselineParams
 from repro.madmpi.comm import Communicator
@@ -37,7 +36,7 @@ class OpenMpi(BaselineMpi):
     backend_name = "OpenMPI"
 
     def __init__(self, node: Node, world: Communicator,
-                 params: Optional[BaselineParams] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 params: BaselineParams | None = None,
+                 tracer: Tracer | None = None) -> None:
         super().__init__(node, params if params is not None else OPENMPI_MX,
                          world, tracer=tracer)

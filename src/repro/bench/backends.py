@@ -10,7 +10,7 @@ evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.baselines import (
     MPICH_MX,
@@ -76,8 +76,8 @@ def make_backend_pair(
     backend: str,
     rails: Sequence[NicProfile],
     strategy: str = "aggregation",
-    engine_params: Optional[EngineParams] = None,
-    tracer: Optional[Tracer] = None,
+    engine_params: EngineParams | None = None,
+    tracer: Tracer | None = None,
 ) -> BackendPair:
     """Build a fresh two-node simulation running ``backend`` on ``rails``."""
     sim = Simulator()

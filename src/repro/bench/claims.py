@@ -9,7 +9,7 @@ table — the reproduction's self-audit, mirroring EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.bench.report import find_series, gain_percent
 from repro.bench.sweeps import run_figure2, run_figure3, run_figure4
@@ -74,7 +74,8 @@ def _peak_bw(data: dict, key: str) -> float:
 def _peak_gain(data: dict, key: str, over: str) -> float:
     mad = find_series(data[key], "madmpi")
     other = find_series(data[key], over)
-    return max(gain_percent(b, m) for b, m in zip(other.values, mad.values))
+    return max(gain_percent(b, m)
+               for b, m in zip(other.values, mad.values, strict=True))
 
 
 CLAIMS: tuple[Claim, ...] = (
@@ -109,7 +110,7 @@ CLAIMS: tuple[Claim, ...] = (
 
 
 def evaluate_claims(claims: Sequence[Claim] = CLAIMS,
-                    data: Optional[dict] = None) -> list[Verdict]:
+                    data: dict | None = None) -> list[Verdict]:
     """Measure every claim; ``data`` may inject precomputed sweeps."""
     data = data if data is not None else _sweeps()
     return [Verdict(claim=c, measured=c.measure(data)) for c in claims]

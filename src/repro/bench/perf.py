@@ -32,7 +32,7 @@ import platform
 import sys
 import time
 from collections import deque
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 from repro.core.data import VirtualData
 from repro.core.packet import PacketWrap
@@ -87,14 +87,14 @@ class LegacyWindow:
     def __len__(self) -> int:
         return len(self._common) + sum(len(d) for d in self._dedicated)
 
-    def pending_bytes(self, rail: Optional[int] = None) -> int:
+    def pending_bytes(self, rail: int | None = None) -> int:
         if rail is None:
             total = sum(w.length for w in self._common)
             total += sum(w.length for d in self._dedicated for w in d)
             return total
         return sum(w.length for w in self.eligible(rail))
 
-    def backlog(self, dest: Optional[int] = None) -> int:
+    def backlog(self, dest: int | None = None) -> int:
         if dest is None:
             return len(self)
         return sum(1 for w in self._all() if w.dest == dest)

@@ -20,7 +20,6 @@ reproducing the dynamics of §3.1.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.bench.backends import BackendPair, make_backend_pair
 from repro.core.data import VirtualData

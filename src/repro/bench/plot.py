@@ -10,7 +10,7 @@ marker with a ``*`` when two series collide exactly.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.bench.report import Series
 from repro.errors import ReproError
@@ -53,8 +53,8 @@ def render_plot(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for marker, s in zip(_MARKERS, series):
-        for x, y in zip(s.sizes, s.values):
+    for marker, s in zip(_MARKERS, series, strict=False):
+        for x, y in zip(s.sizes, s.values, strict=True):
             col = round((tx(x) - x_lo) / x_span * (width - 1))
             row = (height - 1) - round((ty(y) - y_lo) / y_span * (height - 1))
             cell = grid[row][col]
@@ -74,6 +74,7 @@ def render_plot(
     ticks = f"{'':>11}{x_left}{' ' * max(1, width - len(x_left) - len(x_right))}{x_right}"
     lines.append(axis)
     lines.append(ticks)
-    legend = "   ".join(f"{m}={s.label}" for m, s in zip(_MARKERS, series))
+    legend = "   ".join(f"{m}={s.label}"
+                        for m, s in zip(_MARKERS, series, strict=False))
     lines.append(f"{'':>11}{legend}   (* = overlap)")
     return "\n".join(lines)

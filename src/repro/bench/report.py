@@ -9,7 +9,7 @@ faster", "a gain of about 70 %").  Gain is ``(t_base - t_mad) / t_base``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import ReproError
 from repro.netsim.units import format_size
@@ -35,7 +35,7 @@ class Series:
                 f"{len(self.values)} values"
             )
 
-    def to_bandwidth(self) -> "Series":
+    def to_bandwidth(self) -> Series:
         """Derive MB/s from one-way latencies (the figure (b)/(d) panels)."""
         if self.unit != "us":
             raise ReproError(f"cannot derive bandwidth from {self.unit!r}")
@@ -44,7 +44,7 @@ class Series:
             backend=self.backend,
             sizes=list(self.sizes),
             values=[s / v if v > 0 else 0.0
-                    for s, v in zip(self.sizes, self.values)],
+                    for s, v in zip(self.sizes, self.values, strict=True)],
             unit="MB/s",
         )
 
@@ -106,7 +106,7 @@ def render_gains(series: Sequence[Series], contender: str = "madmpi") -> str:
         if other.backend == contender:
             continue
         gains = [gain_percent(b, m)
-                 for b, m in zip(other.values, mine.values)]
+                 for b, m in zip(other.values, mine.values, strict=True)]
         peak = max(gains)
         peak_size = other.sizes[gains.index(peak)]
         lines.append(

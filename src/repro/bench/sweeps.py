@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.bench.backends import backend_label
 from repro.bench.pingpong import (

@@ -20,6 +20,7 @@ from repro.core.packet import (
     SegItem,
     WireItem,
 )
+from repro.core.protocols import NicLike, StrategyLike, TacticLike
 from repro.core.reliability import ReliabilityLayer
 from repro.core.requests import ANY, RecvRequest, SendRequest
 from repro.core.strategies import (
@@ -52,6 +53,7 @@ __all__ = [
     "FifoStrategy",
     "HeaderSpec",
     "MultirailStrategy",
+    "NicLike",
     "NmadEngine",
     "OptimizationWindow",
     "PackMessage",
@@ -68,6 +70,8 @@ __all__ = [
     "SendPlan",
     "SendRequest",
     "Strategy",
+    "StrategyLike",
+    "TacticLike",
     "UnpackMessage",
     "VirtualData",
     "WireItem",

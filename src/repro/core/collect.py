@@ -18,7 +18,7 @@ requests only *accumulate* while the cards are busy (paper §3.1).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING
 
 from repro.core.data import SegmentData, as_data
 from repro.core.packet import PacketWrap, WireItem
@@ -40,20 +40,20 @@ CONTROL_PRIORITY = 1_000_000
 class CollectLayer:
     """Registers application data pieces and encapsulates their metadata."""
 
-    def __init__(self, engine: "NmadEngine") -> None:
+    def __init__(self, engine: NmadEngine) -> None:
         self.engine = engine
         self._seq: defaultdict[tuple[int, int], int] = defaultdict(int)
 
     def submit(
         self,
         dest: int,
-        data: Union[SegmentData, bytes, bytearray, memoryview, int],
+        data: SegmentData | bytes | bytearray | memoryview | int,
         flow: int = 0,
         tag: int = 0,
         priority: int = 0,
-        rail: Optional[int] = None,
+        rail: int | None = None,
         allow_reorder: bool = True,
-        depends_on: Optional[int] = None,
+        depends_on: int | None = None,
     ) -> PacketWrap:
         """Encapsulate one data piece and enter it into the window."""
         if dest == self.engine.node_id:

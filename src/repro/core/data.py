@@ -10,7 +10,6 @@ with either.
 
 from __future__ import annotations
 
-from typing import Union
 
 __all__ = ["SegmentData", "Bytes", "VirtualData", "as_data"]
 
@@ -26,7 +25,7 @@ class SegmentData:
         """Materialize the content (tests); virtual data yields zeros."""
         raise NotImplementedError
 
-    def slice(self, offset: int, length: int) -> "SegmentData":
+    def slice(self, offset: int, length: int) -> SegmentData:
         """A view of ``length`` bytes starting at ``offset`` (for splitting)."""
         raise NotImplementedError
 
@@ -43,7 +42,7 @@ class Bytes(SegmentData):
 
     __slots__ = ("_view",)
 
-    def __init__(self, data: Union[bytes, bytearray, memoryview]) -> None:
+    def __init__(self, data: bytes | bytearray | memoryview) -> None:
         self._view = memoryview(data)
 
     @property
@@ -53,7 +52,7 @@ class Bytes(SegmentData):
     def tobytes(self) -> bytes:
         return self._view.tobytes()
 
-    def slice(self, offset: int, length: int) -> "Bytes":
+    def slice(self, offset: int, length: int) -> Bytes:
         self._check_range(offset, length)
         return Bytes(self._view[offset:offset + length])
 
@@ -84,7 +83,7 @@ class VirtualData(SegmentData):
     def tobytes(self) -> bytes:
         return bytes(self._nbytes)
 
-    def slice(self, offset: int, length: int) -> "VirtualData":
+    def slice(self, offset: int, length: int) -> VirtualData:
         self._check_range(offset, length)
         return VirtualData(length)
 
@@ -92,7 +91,7 @@ class VirtualData(SegmentData):
         return f"<VirtualData {self.nbytes}B>"
 
 
-def as_data(obj: Union[SegmentData, bytes, bytearray, memoryview, int]) -> SegmentData:
+def as_data(obj: SegmentData | bytes | bytearray | memoryview | int) -> SegmentData:
     """Coerce user input into a :class:`SegmentData`.
 
     ``bytes``-likes become :class:`Bytes`; a bare ``int`` is shorthand for

@@ -13,8 +13,9 @@ lives in :mod:`repro.core.interface`.
 
 from __future__ import annotations
 
+from collections.abc import Generator
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Any
 
 from repro.core.collect import CollectLayer
 from repro.core.data import SegmentData
@@ -29,7 +30,7 @@ from repro.core.window import OptimizationWindow
 from repro.errors import MpiError
 from repro.netsim.node import Node
 from repro.netsim.profiles import NicProfile
-from repro.sim import Tracer
+from repro.sim import Event, Tracer
 
 __all__ = ["EngineParams", "EngineStats", "NmadEngine"]
 
@@ -153,9 +154,9 @@ class NmadEngine:
     def __init__(
         self,
         node: Node,
-        strategy: Union[str, Strategy] = "aggregation",
-        params: Optional[EngineParams] = None,
-        tracer: Optional[Tracer] = None,
+        strategy: str | Strategy = "aggregation",
+        params: EngineParams | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if not node.nics:
             raise MpiError(f"{node.name}: engine needs at least one NIC")
@@ -179,7 +180,7 @@ class NmadEngine:
         self.sim.add_deadlock_hint(self._deadlock_hint)
 
     # -- strategy management (paper abstract: dynamically extensible) -----
-    def set_strategy(self, strategy: Union[str, Strategy], **params) -> None:
+    def set_strategy(self, strategy: str | Strategy, **params: Any) -> None:
         """Swap the optimization function at runtime."""
         self.strategy = (
             create(strategy, **params) if isinstance(strategy, str) else strategy
@@ -190,13 +191,13 @@ class NmadEngine:
     def isend(
         self,
         dest: int,
-        data: Union[SegmentData, bytes, bytearray, memoryview, int],
+        data: SegmentData | bytes | bytearray | memoryview | int,
         tag: int = 0,
         flow: int = 0,
         priority: int = 0,
-        rail: Optional[int] = None,
+        rail: int | None = None,
         allow_reorder: bool = True,
-        depends_on: Optional[int] = None,
+        depends_on: int | None = None,
     ) -> SendRequest:
         """Nonblocking send; returns a handle whose ``done`` event fires
         when the data has fully left this node."""
@@ -212,7 +213,7 @@ class NmadEngine:
         src: int = ANY,
         tag: int = ANY,
         flow: int = 0,
-        nbytes: Optional[int] = None,
+        nbytes: int | None = None,
     ) -> RecvRequest:
         """Nonblocking receive; ``nbytes`` bounds acceptable message size."""
         req = RecvRequest(
@@ -264,13 +265,20 @@ class NmadEngine:
         return True
 
     # -- blocking helpers for simulator processes -----------------------------
-    def send(self, dest: int, data, **kwargs):
+    def send(
+        self,
+        dest: int,
+        data: SegmentData | bytes | bytearray | memoryview | int,
+        **kwargs: Any,
+    ) -> Generator[Event, None, SendRequest]:
         """Process-style blocking send: ``yield from engine.send(...)``."""
         req = self.isend(dest, data, **kwargs)
         yield req.done
         return req
 
-    def recv(self, src: int = ANY, tag: int = ANY, **kwargs):
+    def recv(
+        self, src: int = ANY, tag: int = ANY, **kwargs: Any
+    ) -> Generator[Event, None, RecvRequest]:
         """Process-style blocking receive; returns the completed request."""
         req = self.irecv(src=src, tag=tag, **kwargs)
         yield req.done
@@ -324,7 +332,7 @@ class NmadEngine:
             and self.reliability.quiesced
         )
 
-    def _deadlock_hint(self) -> Optional[str]:
+    def _deadlock_hint(self) -> str | None:
         """Engine-specific diagnosis appended to the kernel's deadlock error.
 
         A dropped frame is invisible to the engines themselves (both sides

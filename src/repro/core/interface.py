@@ -15,7 +15,6 @@ piece has left the node.  The unpack side mirrors it.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 from repro.core.data import SegmentData
 from repro.core.engine import NmadEngine
@@ -40,9 +39,9 @@ class PackMessage:
 
     def pack(
         self,
-        data: Union[SegmentData, bytes, bytearray, memoryview, int],
+        data: SegmentData | bytes | bytearray | memoryview | int,
         priority: int = 0,
-        rail: Optional[int] = None,
+        rail: int | None = None,
         allow_reorder: bool = True,
     ) -> SendRequest:
         """Append one piece; it is submitted to the engine immediately."""
@@ -75,7 +74,7 @@ class UnpackMessage:
         self.requests: list[RecvRequest] = []
         self._finalized = False
 
-    def unpack(self, nbytes: Optional[int] = None) -> RecvRequest:
+    def unpack(self, nbytes: int | None = None) -> RecvRequest:
         """Post a receive for the next piece of the message."""
         if self._finalized:
             raise MpiError("unpack() after end_unpack()")

@@ -21,12 +21,12 @@ the engine's business, injected as the ``on_match`` callback.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from collections.abc import Callable
 
 from repro.core.packet import RdvReqItem, SegItem
 from repro.core.requests import RecvRequest
 from repro.errors import ProtocolError
-from repro.sim import Tracer
+from repro.sim import Event, Tracer
 
 __all__ = ["Incoming", "Matcher"]
 
@@ -40,7 +40,7 @@ class Incoming:
     tag: int
     seq: int
     nbytes: int
-    item: Union[SegItem, RdvReqItem, None]
+    item: SegItem | RdvReqItem | None
     arrived_at: float = 0.0
     #: Tombstone of a cancelled send: consumes its sequence slot, matches
     #: nothing (see :class:`repro.core.packet.CancelItem`).
@@ -57,7 +57,7 @@ class Matcher:
     def __init__(
         self,
         on_match: Callable[[Incoming, RecvRequest], None],
-        tracer: Optional[Tracer] = None,
+        tracer: Tracer | None = None,
         name: str = "matcher",
         dedup: bool = False,
     ) -> None:
@@ -171,7 +171,7 @@ class Matcher:
         return (inc.flow == flow and src in (-1, inc.src)
                 and tag in (-1, inc.tag))
 
-    def peek(self, src: int, flow: int, tag: int) -> Optional[Incoming]:
+    def peek(self, src: int, flow: int, tag: int) -> Incoming | None:
         """Oldest unexpected descriptor matching (src, flow, tag), if any.
 
         The descriptor stays queued — probing never consumes a message.
@@ -181,7 +181,7 @@ class Matcher:
                 return inc
         return None
 
-    def watch(self, src: int, flow: int, tag: int, event) -> None:
+    def watch(self, src: int, flow: int, tag: int, event: Event) -> None:
         """Trigger ``event`` (with the descriptor) when a match arrives.
 
         Fires immediately if a matching descriptor is already queued,

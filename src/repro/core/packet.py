@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.data import SegmentData
 from repro.sim import Event
@@ -80,13 +79,13 @@ class PacketWrap:
     data: SegmentData
     priority: int = 0               # higher = deliver earlier if possible
     allow_reorder: bool = True      # may the optimizer overtake with this?
-    depends_on: Optional[int] = None  # wrap_id that must be *sent* first
-    rail: Optional[int] = None      # pinned rail (dedicated list) or None
+    depends_on: int | None = None  # wrap_id that must be *sent* first
+    rail: int | None = None      # pinned rail (dedicated list) or None
     submitted_at: float = 0.0
     is_control: bool = False        # engine-internal control traffic
-    control_item: Optional["WireItem"] = None  # the item a control wrap carries
+    control_item: WireItem | None = None  # the item a control wrap carries
     wrap_id: int = field(default_factory=lambda: next(_wrap_ids))
-    completion: Optional[Event] = None  # succeeds when the send completes
+    completion: Event | None = None  # succeeds when the send completes
 
     def __post_init__(self) -> None:
         if self.dest < 0:

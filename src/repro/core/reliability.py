@@ -35,7 +35,9 @@ so cross-rail replays deduplicate exactly like same-rail ones.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from collections.abc import Callable
+
+from typing import TYPE_CHECKING
 
 from repro.errors import RailDownError, TransportError
 from repro.netsim.frames import Frame, FrameKind
@@ -54,8 +56,8 @@ class _Pending:
                  "rail", "retries", "deadline")
 
     def __init__(self, seq: int, frame: Frame, cpu_gap_us: float,
-                 on_delivered: Optional[Callable[[], None]],
-                 on_failed: Optional[Callable[[BaseException], None]],
+                 on_delivered: Callable[[], None] | None,
+                 on_failed: Callable[[BaseException], None] | None,
                  rail: int) -> None:
         self.seq = seq
         self.frame = frame
@@ -64,7 +66,7 @@ class _Pending:
         self.on_failed = on_failed
         self.rail = rail           # rail of the most recent transmission
         self.retries = 0
-        self.deadline: Optional[float] = None  # None while queued/in tx
+        self.deadline: float | None = None  # None while queued/in tx
 
 
 class _Channel:
@@ -95,7 +97,7 @@ class ReliabilityLayer:
     byte-for-byte and microsecond-for-microsecond the paper's.
     """
 
-    def __init__(self, engine: "NmadEngine") -> None:
+    def __init__(self, engine: NmadEngine) -> None:
         self.engine = engine
         self.sim = engine.sim
         self.params = engine.params
@@ -136,8 +138,8 @@ class ReliabilityLayer:
         nic: Nic,
         frame: Frame,
         cpu_gap_us: float = 0.0,
-        on_delivered: Optional[Callable[[], None]] = None,
-        on_failed: Optional[Callable[[BaseException], None]] = None,
+        on_delivered: Callable[[], None] | None = None,
+        on_failed: Callable[[BaseException], None] | None = None,
     ) -> None:
         """Transmit ``frame`` on ``nic``, reliably when the layer is on.
 
@@ -292,7 +294,7 @@ class ReliabilityLayer:
         if frame.kind == FrameKind.REL_ACK:
             return
         if self.mode == "off" or frame.rel_seq is None:
-            self.engine.transfer._on_frame(rail, frame)
+            self.engine.transfer.demux_frame(rail, frame)
             return
         ch = self._channel(frame.src_node)
         if not self._record_rx(ch, frame.rel_seq):
@@ -303,7 +305,7 @@ class ReliabilityLayer:
             self._send_ack(ch)
             return
         self._schedule_delayed_ack(ch)
-        self.engine.transfer._on_frame(rail, frame)
+        self.engine.transfer.demux_frame(rail, frame)
 
     def _record_rx(self, ch: _Channel, seq: int) -> bool:
         if seq < ch.rx_cum or seq in ch.rx_sacks:

@@ -21,7 +21,7 @@ Bulk chunks land at their final destination with no memory copy.
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.core.data import Bytes, SegmentData, VirtualData
 from repro.core.packet import PacketWrap, RdvAckItem, RdvDataItem, RdvReqItem
@@ -123,7 +123,7 @@ class RdvRecvState:
 class RendezvousManager:
     """Both halves of the rendezvous state machine for one engine."""
 
-    def __init__(self, engine: "NmadEngine") -> None:
+    def __init__(self, engine: NmadEngine) -> None:
         self.engine = engine
         self._handles = itertools.count(1)
         self._pending: dict[int, RdvSendState] = {}
@@ -145,7 +145,7 @@ class RendezvousManager:
             seq=wrap.seq, handle=handle, nbytes=wrap.length,
         )
 
-    def retract(self, handle: int) -> Optional[PacketWrap]:
+    def retract(self, handle: int) -> PacketWrap | None:
         """Undo an announcement whose packet never left the node.
 
         Only valid while the announcement sits in an *anticipated*
@@ -219,7 +219,7 @@ class RendezvousManager:
 
     def next_chunk(
         self, rail: int, multirail: bool
-    ) -> Optional[tuple[RdvSendState, RdvDataItem]]:
+    ) -> tuple[RdvSendState, RdvDataItem] | None:
         """Carve the next bulk chunk an idle NIC on ``rail`` may stream."""
         for state in self._granted:
             if not multirail and state.origin_rail != rail:

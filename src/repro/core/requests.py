@@ -9,7 +9,6 @@ equivalent operations of NewMadeleine").
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.data import SegmentData
 from repro.core.packet import PacketWrap
@@ -50,7 +49,7 @@ class SendRequest:
         return self.done.triggered and not self.done.ok
 
     @property
-    def error(self) -> Optional[BaseException]:
+    def error(self) -> BaseException | None:
         """The failure exception, or ``None`` (nonblocking inspection)."""
         return self.done.exception if self.failed else None
 
@@ -81,7 +80,7 @@ class RecvRequest:
         src: int,
         flow: int,
         tag: int,
-        capacity: Optional[int],
+        capacity: int | None,
         done: Event,
         posted_at: float = 0.0,
     ) -> None:
@@ -93,10 +92,10 @@ class RecvRequest:
         self.capacity = capacity
         self.done = done
         self.posted_at = posted_at
-        self.data: Optional[SegmentData] = None
-        self.actual_src: Optional[int] = None
-        self.actual_tag: Optional[int] = None
-        self.actual_len: Optional[int] = None
+        self.data: SegmentData | None = None
+        self.actual_src: int | None = None
+        self.actual_tag: int | None = None
+        self.actual_len: int | None = None
 
     @property
     def complete(self) -> bool:
@@ -109,7 +108,7 @@ class RecvRequest:
         return self.done.triggered and not self.done.ok
 
     @property
-    def error(self) -> Optional[BaseException]:
+    def error(self) -> BaseException | None:
         """The failure exception, or ``None`` (nonblocking inspection)."""
         return self.done.exception if self.failed else None
 

@@ -11,7 +11,7 @@ builds up.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any
 
 from repro.core.strategies.aggregation import AggregationStrategy
 from repro.core.strategies.fifo import FifoStrategy
@@ -26,7 +26,8 @@ class AdaptiveStrategy(Strategy):
 
     name = "adaptive"
 
-    def __init__(self, backlog_watermark: int = 2, **agg_params) -> None:
+    def __init__(self, backlog_watermark: int = 2,
+                 **agg_params: Any) -> None:
         if backlog_watermark < 1:
             raise ValueError(
                 f"backlog_watermark must be >= 1, got {backlog_watermark}"
@@ -42,7 +43,7 @@ class AdaptiveStrategy(Strategy):
     def multirail_bulk(self) -> bool:
         return False
 
-    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+    def select(self, ctx: SchedulingContext) -> SendPlan | None:
         # backlog() reads the window's incrementally-maintained wrap count,
         # so the mode decision itself costs O(1) per pull.
         if ctx.window.backlog() < self.backlog_watermark:

@@ -17,7 +17,6 @@ rendez-vous requests of the large blocks").
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.packet import SegItem, WireItem
 from repro.core.strategy import SchedulingContext, SendPlan, Strategy, register
@@ -55,7 +54,7 @@ class AggregationStrategy(Strategy):
         self,
         by_priority: bool = False,
         scan_past_blockage: bool = True,
-        max_items: Optional[int] = None,
+        max_items: int | None = None,
     ) -> None:
         if max_items is not None and max_items < 1:
             raise ValueError(f"max_items must be >= 1, got {max_items}")
@@ -66,7 +65,7 @@ class AggregationStrategy(Strategy):
     #: bulk rendezvous chunks stay on the rail that announced them
     multirail_bulk = False
 
-    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+    def select(self, ctx: SchedulingContext) -> SendPlan | None:
         if self.by_priority:
             # Priority reordering is a global permutation of the eligible
             # list, so it has to see every wrap.

@@ -20,7 +20,8 @@ would stall the peer.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any
+
 
 from repro.core.strategies.aggregation import AggregationStrategy
 from repro.core.strategy import SchedulingContext, SendPlan, register
@@ -36,7 +37,8 @@ class BandwidthStrategy(AggregationStrategy):
     name = "bandwidth"
 
     def __init__(self, hold_us: float = 5.0,
-                 min_fill_bytes: Optional[int] = None, **agg_params) -> None:
+                 min_fill_bytes: int | None = None,
+                 **agg_params: Any) -> None:
         super().__init__(**agg_params)
         if hold_us < 0:
             raise ValueError(f"negative hold time {hold_us}")
@@ -72,13 +74,13 @@ class BandwidthStrategy(AggregationStrategy):
         oldest = min(w.submitted_at for w in mine)
         return (ctx.now - oldest) < self.hold_us
 
-    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+    def select(self, ctx: SchedulingContext) -> SendPlan | None:
         if self._should_hold(ctx):
             self.holds += 1
             return None
         return super().select(ctx)
 
-    def hold_until(self, ctx: SchedulingContext) -> Optional[float]:
+    def hold_until(self, ctx: SchedulingContext) -> float | None:
         oldest = min(
             (w.submitted_at for w in ctx.window.eligible(ctx.rail)
              if deps_satisfied(w, ctx.sent_wraps)),

@@ -9,7 +9,6 @@ optimization window buys.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.packet import SegItem
 from repro.core.strategy import SchedulingContext, SendPlan, Strategy, register
@@ -24,7 +23,7 @@ class FifoStrategy(Strategy):
 
     name = "fifo"
 
-    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+    def select(self, ctx: SchedulingContext) -> SendPlan | None:
         # Lazy head scan: terminates at the first sendable wrap, so the
         # direct-mapping pull stays O(1) unless dependency chains block the
         # list head.

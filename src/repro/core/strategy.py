@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Type
+from typing import Any
 
 from repro.core.packet import HeaderSpec, PacketWrap, WireItem
 from repro.core.window import OptimizationWindow
@@ -104,10 +104,10 @@ class Strategy(ABC):
     name: str = ""
 
     @abstractmethod
-    def select(self, ctx: SchedulingContext) -> Optional[SendPlan]:
+    def select(self, ctx: SchedulingContext) -> SendPlan | None:
         """Elect the next request for an idle NIC, or None."""
 
-    def hold_until(self, ctx: SchedulingContext) -> Optional[float]:
+    def hold_until(self, ctx: SchedulingContext) -> float | None:
         """When to retry after ``select`` returned None despite pending work.
 
         Latency-favoring strategies never hold (return ``None``); a
@@ -126,10 +126,10 @@ class Strategy(ABC):
         return f"<Strategy {self.describe()}>"
 
 
-_REGISTRY: dict[str, Type[Strategy]] = {}
+_REGISTRY: dict[str, type[Strategy]] = {}
 
 
-def register(cls: Type[Strategy]) -> Type[Strategy]:
+def register(cls: type[Strategy]) -> type[Strategy]:
     """Class decorator: add a strategy to the database.
 
     Re-registering a name is an error (catch typos and accidental
@@ -150,7 +150,7 @@ def unregister(name: str) -> None:
     _REGISTRY.pop(name, None)
 
 
-def create(name: str, **params) -> Strategy:
+def create(name: str, **params: Any) -> Strategy:
     """Instantiate a registered strategy by name."""
     try:
         cls = _REGISTRY[name]

@@ -8,7 +8,7 @@ free of engine state makes them individually property-testable.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.core.packet import PacketWrap
 
@@ -40,7 +40,7 @@ def deps_satisfied(
 
 def first_sendable_dest(
     wraps: Iterable[PacketWrap], sent: set[int]
-) -> Optional[int]:
+) -> int | None:
     """Destination of the oldest wrap whose dependencies are satisfied.
 
     Physical packets are point-to-point, so a plan targets one node; the
@@ -97,7 +97,7 @@ def plan_aggregate(
     dest: int,
     rdv_threshold: int,
     sent: set[int],
-    max_items: Optional[int] = None,
+    max_items: int | None = None,
     scan_past_blockage: bool = True,
 ) -> AggregateChoice:
     """Choose wraps to coalesce into one physical packet towards ``dest``.

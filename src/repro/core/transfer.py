@@ -27,16 +27,18 @@ from __future__ import annotations
 
 import math
 from functools import partial
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.core.matching import Incoming
 from repro.core.packet import (
     CancelItem,
+    PacketWrap,
     PhysPacket,
     RdvAckItem,
     RdvDataItem,
     RdvReqItem,
     SegItem,
+    WireItem,
 )
 from repro.core.strategy import SchedulingContext, SendPlan
 from repro.errors import ProtocolError
@@ -45,6 +47,7 @@ from repro.netsim.nic import Nic
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import NmadEngine
+    from repro.core.rendezvous import RdvSendState
 
 __all__ = ["TransferLayer"]
 
@@ -52,7 +55,7 @@ __all__ = ["TransferLayer"]
 class TransferLayer:
     """Drives every NIC of one node on behalf of the engine."""
 
-    def __init__(self, engine: "NmadEngine") -> None:
+    def __init__(self, engine: NmadEngine) -> None:
         self.engine = engine
         self.nics = list(engine.node.nics)
         self.sent_wraps: set[int] = set()
@@ -63,16 +66,16 @@ class TransferLayer:
         # every time.
         self._pull_fns = [partial(self._pull, rail)
                           for rail in range(len(self.nics))]
-        self._contexts: list[Optional[SchedulingContext]] = \
+        self._contexts: list[SchedulingContext | None] = \
             [None] * len(self.nics)
         # Paper §3.2's second/third dispatch policies: at most one packet is
         # pre-synthesized while every NIC is busy, waiting to be re-fed.
-        self._anticipated: Optional[tuple[SendPlan, list]] = None
+        self._anticipated: tuple[SendPlan, list] | None = None
         for nic in self.nics:
             nic.add_idle_callback(self._on_idle)
             # Every arrival funnels through the reliability layer first
             # (checksum verification, ack processing, duplicate suppression);
-            # in "off" mode it is a straight pass-through to _on_frame.
+            # in "off" mode it is a straight pass-through to demux_frame.
             nic.set_receive_handler(
                 lambda frame, rail=nic.rail:
                     self.engine.reliability.on_frame(rail, frame)
@@ -83,7 +86,7 @@ class TransferLayer:
         """True when a prepared packet is waiting for a NIC (quiesce check)."""
         return self._anticipated is not None
 
-    def uncommit_anticipated(self, wrap) -> bool:
+    def uncommit_anticipated(self, wrap: PacketWrap) -> bool:
         """Unwind the anticipated packet if it holds ``wrap``.
 
         A wrap inside a pre-synthesized packet has been taken from the
@@ -228,7 +231,7 @@ class TransferLayer:
             self.engine.sim.schedule(delay, self._pull_fns[rail])
 
     # -- sending --------------------------------------------------------------
-    def _materialize(self, plan: SendPlan, rail: int) -> list:
+    def _materialize(self, plan: SendPlan, rail: int) -> list[WireItem]:
         """Commit a plan: remove wraps from the window, build wire items."""
         engine = self.engine
         for wrap in plan.taken + plan.announced:
@@ -308,7 +311,8 @@ class TransferLayer:
                                 "plan_failed", dest=plan.dest,
                                 items=len(items))
 
-    def _send_bulk(self, nic: Nic, state, item: RdvDataItem) -> None:
+    def _send_bulk(self, nic: Nic, state: RdvSendState,
+                   item: RdvDataItem) -> None:
         engine = self.engine
         params = engine.params
         pkt = PhysPacket([item])
@@ -338,7 +342,7 @@ class TransferLayer:
         )
 
     # -- receiving ----------------------------------------------------------------
-    def _on_frame(self, rail: int, frame: Frame) -> None:
+    def demux_frame(self, rail: int, frame: Frame) -> None:
         pkt = frame.payload
         if not isinstance(pkt, PhysPacket):
             raise ProtocolError(
@@ -356,7 +360,7 @@ class TransferLayer:
                 delay, lambda item=item: self._dispatch_item(item)
             )
 
-    def _dispatch_item(self, item) -> None:
+    def _dispatch_item(self, item: WireItem) -> None:
         now = self.engine.sim.now
         if isinstance(item, SegItem):
             self.engine.matcher.deliver(

@@ -23,7 +23,7 @@ towards one node without scanning every other node's traffic.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
 
 from repro.core.packet import PacketWrap
 from repro.errors import StrategyError
@@ -154,7 +154,7 @@ class OptimizationWindow:
     def empty(self) -> bool:
         return self._count == 0
 
-    def pending_bytes(self, rail: Optional[int] = None) -> int:
+    def pending_bytes(self, rail: int | None = None) -> int:
         """Total payload bytes waiting (for one rail's view, or globally)."""
         if rail is None:
             return self._total_bytes
@@ -162,7 +162,7 @@ class OptimizationWindow:
             raise StrategyError(f"no rail {rail} in window")
         return self._common_bytes + self._dedicated_bytes[rail]
 
-    def backlog(self, dest: Optional[int] = None) -> int:
+    def backlog(self, dest: int | None = None) -> int:
         """Number of waiting wraps (optionally only towards ``dest``)."""
         if dest is None:
             return self._count

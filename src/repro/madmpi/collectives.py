@@ -19,7 +19,7 @@ Payloads are byte strings; reductions take ``op: (bytes, bytes) -> bytes``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.errors import MpiError
 from repro.madmpi.comm import Communicator
@@ -38,7 +38,7 @@ _TAG_BARRIER = (1 << 20) + 4
 _TAG_ALLTOALL = (1 << 20) + 5
 
 
-def _comm_of(mpi, comm: Optional[Communicator]) -> Communicator:
+def _comm_of(mpi, comm: Communicator | None) -> Communicator:
     return comm if comm is not None else mpi.world
 
 
@@ -47,8 +47,8 @@ def _rank(mpi, comm: Communicator) -> int:
         else comm.rank_of(mpi.node.node_id)
 
 
-def bcast(mpi, data: Optional[bytes], root: int = 0,
-          comm: Optional[Communicator] = None):
+def bcast(mpi, data: bytes | None, root: int = 0,
+          comm: Communicator | None = None):
     """Binomial-tree broadcast; returns the broadcast bytes on every rank.
 
     Non-root ranks pass ``data=None``.
@@ -82,7 +82,7 @@ def bcast(mpi, data: Optional[bytes], root: int = 0,
 
 
 def gather(mpi, data: bytes, root: int = 0,
-           comm: Optional[Communicator] = None):
+           comm: Communicator | None = None):
     """Linear gather; the root returns the list of per-rank payloads."""
     comm = _comm_of(mpi, comm)
     rank = _rank(mpi, comm)
@@ -91,7 +91,7 @@ def gather(mpi, data: bytes, root: int = 0,
     if rank != root:
         yield from mpi.send(data, dest=root, tag=_TAG_GATHER, comm=comm)
         return None
-    out: list[Optional[bytes]] = [None] * comm.size
+    out: list[bytes | None] = [None] * comm.size
     out[root] = data
     reqs = [(r, mpi.irecv(source=r, tag=_TAG_GATHER, comm=comm))
             for r in range(comm.size) if r != root]
@@ -101,8 +101,8 @@ def gather(mpi, data: bytes, root: int = 0,
     return out
 
 
-def scatter(mpi, chunks: Optional[Sequence[bytes]], root: int = 0,
-            comm: Optional[Communicator] = None):
+def scatter(mpi, chunks: Sequence[bytes] | None, root: int = 0,
+            comm: Communicator | None = None):
     """Linear scatter; every rank returns its chunk."""
     comm = _comm_of(mpi, comm)
     rank = _rank(mpi, comm)
@@ -123,7 +123,7 @@ def scatter(mpi, chunks: Optional[Sequence[bytes]], root: int = 0,
 
 
 def reduce(mpi, data: bytes, op: Callable[[bytes, bytes], bytes],
-           root: int = 0, comm: Optional[Communicator] = None):
+           root: int = 0, comm: Communicator | None = None):
     """Binomial-tree reduction; the root returns the combined value.
 
     ``op`` must be associative; operands combine as
@@ -152,7 +152,7 @@ def reduce(mpi, data: bytes, op: Callable[[bytes, bytes], bytes],
 
 
 def allreduce(mpi, data: bytes, op: Callable[[bytes, bytes], bytes],
-              comm: Optional[Communicator] = None):
+              comm: Communicator | None = None):
     """Reduce to rank 0 then broadcast (every rank returns the result)."""
     comm = _comm_of(mpi, comm)
     reduced = yield from reduce(mpi, data, op, root=0, comm=comm)
@@ -160,7 +160,7 @@ def allreduce(mpi, data: bytes, op: Callable[[bytes, bytes], bytes],
     return result
 
 
-def barrier(mpi, comm: Optional[Communicator] = None):
+def barrier(mpi, comm: Communicator | None = None):
     """Dissemination barrier: ceil(log2 P) rounds of paired messages."""
     comm = _comm_of(mpi, comm)
     size = comm.size
@@ -181,7 +181,7 @@ def barrier(mpi, comm: Optional[Communicator] = None):
 
 
 def alltoall(mpi, chunks: Sequence[bytes],
-             comm: Optional[Communicator] = None):
+             comm: Communicator | None = None):
     """Pairwise exchange; rank i returns [chunk_from_0, ..., chunk_from_P-1].
 
     ``chunks[j]`` is the payload this rank sends to rank j (``chunks[rank]``
@@ -192,7 +192,7 @@ def alltoall(mpi, chunks: Sequence[bytes],
     rank = _rank(mpi, comm)
     if len(chunks) != size:
         raise MpiError(f"alltoall needs exactly {size} chunks")
-    out: list[Optional[bytes]] = [None] * size
+    out: list[bytes | None] = [None] * size
     out[rank] = chunks[rank]
     recvs = [(r, mpi.irecv(source=r, tag=_TAG_ALLTOALL, comm=comm))
              for r in range(size) if r != rank]

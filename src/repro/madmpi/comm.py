@@ -10,7 +10,7 @@ coalesce across them.
 from __future__ import annotations
 
 import itertools
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import MpiError
 
@@ -51,7 +51,7 @@ class Communicator:
                 f"node {node} is not part of this communicator"
             ) from None
 
-    def dup(self) -> "Communicator":
+    def dup(self) -> Communicator:
         """MPI_Comm_dup: same group, fresh isolated matching scope."""
         return Communicator(self.ranks_to_nodes)
 

@@ -21,7 +21,7 @@ for the communication layer (it only ever sees bytes).
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import DatatypeError
 
@@ -116,7 +116,7 @@ class Datatype:
             cursor += length
 
     # -- constructor algebra -------------------------------------------------
-    def __mul__(self, count: int) -> "Contiguous":
+    def __mul__(self, count: int) -> Contiguous:
         """``dtype * n`` is ``Contiguous(n, dtype)``."""
         return Contiguous(count, self)
 
@@ -213,7 +213,8 @@ class Hindexed(Datatype):
 
     def blocks(self, offset: int = 0) -> list[tuple[int, int]]:
         out: list[tuple[int, int]] = []
-        for blocklen, disp in zip(self.blocklens, self.displs_bytes):
+        for blocklen, disp in zip(self.blocklens, self.displs_bytes,
+                                  strict=True):
             out.extend(Contiguous(blocklen, self.base).blocks(offset + disp))
         return out
 
@@ -242,7 +243,7 @@ class Struct(Datatype):
     def blocks(self, offset: int = 0) -> list[tuple[int, int]]:
         out: list[tuple[int, int]] = []
         for blocklen, disp, base in zip(self.blocklens, self.displs_bytes,
-                                        self.types):
+                                        self.types, strict=True):
             out.extend(Contiguous(blocklen, base).blocks(offset + disp))
         return out
 

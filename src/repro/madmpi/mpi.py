@@ -15,7 +15,7 @@ zero-copy, entirely as a consequence of the engine's strategy.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.core.data import SegmentData, VirtualData, as_data
 from repro.core.engine import NmadEngine
@@ -28,7 +28,7 @@ from repro.madmpi.request import MpiRequest
 __all__ = ["MadMpi", "ANY"]
 
 
-BufferLike = Union[SegmentData, bytes, bytearray, memoryview, int]
+BufferLike = SegmentData | bytes | bytearray | memoryview | int
 
 
 class MadMpi:
@@ -52,8 +52,8 @@ class MadMpi:
         data: BufferLike,
         dest: int,
         tag: int = 0,
-        comm: Optional[Communicator] = None,
-        datatype: Optional[Datatype] = None,
+        comm: Communicator | None = None,
+        datatype: Datatype | None = None,
         priority: int = 0,
     ) -> MpiRequest:
         """Nonblocking send to ``dest`` (a rank in ``comm``)."""
@@ -80,9 +80,9 @@ class MadMpi:
         self,
         source: int = ANY,
         tag: int = ANY,
-        comm: Optional[Communicator] = None,
-        nbytes: Optional[int] = None,
-        datatype: Optional[Datatype] = None,
+        comm: Communicator | None = None,
+        nbytes: int | None = None,
+        datatype: Datatype | None = None,
     ) -> MpiRequest:
         """Nonblocking receive from ``source`` (a rank in ``comm`` or ANY)."""
         comm = comm if comm is not None else self.world
@@ -95,7 +95,9 @@ class MadMpi:
             def _finish(evt):
                 if not evt.ok:
                     evt.defuse()
-                    req.done.fail(evt._exc)
+                    exc = evt.exception
+                    assert exc is not None
+                    req.done.fail(exc)
                     return
                 assert sub.actual_src is not None
                 req.data = sub.data
@@ -120,7 +122,9 @@ class MadMpi:
         def _finish_typed(evt):
             if not evt.ok:
                 evt.defuse()
-                done.fail(evt._exc)
+                exc = evt.exception
+                assert exc is not None
+                done.fail(exc)
                 return
             req.block_data = [s.data for s in subs]
             first = subs[0]
@@ -135,7 +139,7 @@ class MadMpi:
 
     # -- probing -----------------------------------------------------------------
     def iprobe(self, source: int = ANY, tag: int = ANY,
-               comm: Optional[Communicator] = None):
+               comm: Communicator | None = None):
         """Nonblocking probe: (source_rank, tag, nbytes) or None.
 
         Like MPI_Iprobe, never consumes the message.
@@ -148,7 +152,7 @@ class MadMpi:
         return comm.rank_of(inc.src), inc.tag, inc.nbytes
 
     def probe(self, source: int = ANY, tag: int = ANY,
-              comm: Optional[Communicator] = None):
+              comm: Communicator | None = None):
         """Blocking probe (process style): waits for a matching message."""
         comm = comm if comm is not None else self.world
         src_node = ANY if source == ANY else comm.node_of(source)
@@ -160,8 +164,8 @@ class MadMpi:
     # -- combined send/receive ------------------------------------------------------
     def sendrecv(self, send_data: BufferLike, dest: int, source: int = ANY,
                  sendtag: int = 0, recvtag: int = ANY,
-                 comm: Optional[Communicator] = None,
-                 nbytes: Optional[int] = None):
+                 comm: Communicator | None = None,
+                 nbytes: int | None = None):
         """MPI_Sendrecv: simultaneous, deadlock-free exchange."""
         rreq = self.irecv(source=source, tag=recvtag, comm=comm,
                           nbytes=nbytes)
@@ -197,16 +201,16 @@ class MadMpi:
 
     # -- blocking conveniences -----------------------------------------------------
     def send(self, data: BufferLike, dest: int, tag: int = 0,
-             comm: Optional[Communicator] = None,
-             datatype: Optional[Datatype] = None):
+             comm: Communicator | None = None,
+             datatype: Datatype | None = None):
         req = self.isend(data, dest, tag=tag, comm=comm, datatype=datatype)
         yield req.done
         return req
 
     def recv(self, source: int = ANY, tag: int = ANY,
-             comm: Optional[Communicator] = None,
-             nbytes: Optional[int] = None,
-             datatype: Optional[Datatype] = None):
+             comm: Communicator | None = None,
+             nbytes: int | None = None,
+             datatype: Datatype | None = None):
         req = self.irecv(source=source, tag=tag, comm=comm, nbytes=nbytes,
                          datatype=datatype)
         yield req.done

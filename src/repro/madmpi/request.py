@@ -9,7 +9,6 @@ the result into a user buffer.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
 
 from repro.core.data import SegmentData, VirtualData
 from repro.errors import MpiError
@@ -26,16 +25,16 @@ class MpiRequest:
         self,
         done: Event,
         kind: str,
-        datatype: Optional[Datatype] = None,
+        datatype: Datatype | None = None,
     ) -> None:
         self.done = done
         self.kind = kind  # "send" | "recv"
         self.datatype = datatype
         # Status fields, populated at completion (receives only).
-        self.source: Optional[int] = None
-        self.tag: Optional[int] = None
-        self.count: Optional[int] = None
-        self.data: Optional[SegmentData] = None
+        self.source: int | None = None
+        self.tag: int | None = None
+        self.count: int | None = None
+        self.data: SegmentData | None = None
         self.block_data: list[SegmentData] = []
 
     @property
@@ -81,7 +80,7 @@ class MpiRequest:
                 f"received {len(self.block_data)} blocks for a datatype "
                 f"with {len(flat)} blocks"
             )
-        for (disp, length), data in zip(flat, self.block_data):
+        for (disp, length), data in zip(flat, self.block_data, strict=True):
             if data.nbytes != length:
                 raise MpiError(
                     f"block at displacement {disp} is {data.nbytes}B, "

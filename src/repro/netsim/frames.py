@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["Frame", "FrameKind"]
 
@@ -54,8 +54,8 @@ class Frame:
     wire_size: int
     payload: Any = None
     payload_size: int = 0
-    rel_seq: Optional[int] = None
-    rel_ack: Optional[tuple[int, tuple[int, ...]]] = None
+    rel_seq: int | None = None
+    rel_ack: tuple[int, tuple[int, ...]] | None = None
     corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 

@@ -27,7 +27,9 @@ fault hooks.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections.abc import Callable, Sequence
+
+from typing import TYPE_CHECKING
 
 from repro.errors import NetworkError
 from repro.netsim.frames import Frame
@@ -69,7 +71,7 @@ class FaultPlan:
         bursts: Sequence[tuple[int, int]] = (),
         corrupt_nth: Sequence[int] = (),
         drop_kind_nth: Sequence[tuple[str, int]] = (),
-        down_at_us: Optional[float] = None,
+        down_at_us: float | None = None,
     ) -> None:
         for n in tuple(drop_nth) + tuple(corrupt_nth):
             if n < 1:
@@ -140,11 +142,11 @@ class Link:
     def __init__(
         self,
         sim: Simulator,
-        src: "Nic",
-        dst: "Nic",
+        src: Nic,
+        dst: Nic,
         latency_us: float,
         tracer: Tracer | None = None,
-        fault_injector=None,
+        fault_injector: FaultPlan | Callable[[Frame], bool] | None = None,
     ) -> None:
         if latency_us < 0:
             raise NetworkError(f"negative link latency {latency_us}")
@@ -154,7 +156,7 @@ class Link:
         self.latency_us = latency_us
         self.tracer = tracer if tracer is not None else Tracer()
         #: A :class:`FaultPlan` or a bare ``frame -> bool`` drop callable.
-        self.fault_plan = fault_injector
+        self.fault_plan: FaultPlan | Callable[[Frame], bool] | None = fault_injector
         self.frames_sent = 0
         self.frames_delivered = 0
         self.frames_dropped = 0
@@ -162,17 +164,19 @@ class Link:
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.bytes_dropped = 0
-        self.down_since: Optional[float] = None
+        self.down_since: float | None = None
         self.name = f"link.{src.name}->{dst.name}"
 
     # ``fault_injector`` predates FaultPlan; keep it as an alias so existing
     # code and tests that assign a callable keep working unchanged.
     @property
-    def fault_injector(self):
+    def fault_injector(self) -> FaultPlan | Callable[[Frame], bool] | None:
         return self.fault_plan
 
     @fault_injector.setter
-    def fault_injector(self, fn) -> None:
+    def fault_injector(
+        self, fn: FaultPlan | Callable[[Frame], bool] | None
+    ) -> None:
         self.fault_plan = fn
 
     def _fault_action(self, frame: Frame) -> str:

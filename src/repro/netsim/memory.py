@@ -16,7 +16,7 @@ hardware profiles; this class just turns (bytes, calls) into microseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 __all__ = ["MemoryModel"]
 

@@ -28,7 +28,7 @@ card one optimized packet at a time via the idle hook.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.errors import NetworkError
 from repro.netsim.frames import Frame
@@ -60,8 +60,8 @@ class Nic:
         self._links: dict[int, Link] = {}
         self._queue: deque[tuple[Frame, float, Event]] = deque()
         self._transmitting = False
-        self._rx_handler: Optional[Callable[[Frame], None]] = None
-        self._idle_callbacks: list[Callable[["Nic"], None]] = []
+        self._rx_handler: Callable[[Frame], None] | None = None
+        self._idle_callbacks: list[Callable[[Nic], None]] = []
         # Statistics (exercised by tests and utilization benches).
         self.frames_sent = 0
         self.frames_received = 0
@@ -91,7 +91,7 @@ class Nic:
         """Install the upper layer's frame-arrival handler."""
         self._rx_handler = fn
 
-    def add_idle_callback(self, fn: Callable[["Nic"], None]) -> None:
+    def add_idle_callback(self, fn: Callable[[Nic], None]) -> None:
         """Register ``fn(nic)`` to run every time the card goes idle.
 
         This is the hook the NewMadeleine transfer layer uses to pull the

@@ -16,6 +16,7 @@ era-plausible; the benches assert the *shapes*.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.netsim.memory import MemoryModel
 from repro.netsim.units import KB
@@ -65,7 +66,7 @@ class NicProfile:
         if min(self.send_overhead_us, self.recv_overhead_us, self.pipeline_gap_us) < 0:
             raise ValueError(f"negative overhead in profile {self.name!r}")
 
-    def with_overrides(self, **kwargs) -> "NicProfile":
+    def with_overrides(self, **kwargs: Any) -> NicProfile:
         """A copy of this profile with some fields replaced (for ablations)."""
         return replace(self, **kwargs)
 

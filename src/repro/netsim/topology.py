@@ -10,7 +10,7 @@ cluster.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.errors import NetworkError
 from repro.netsim.link import Link

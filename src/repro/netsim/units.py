@@ -17,7 +17,6 @@ labelling so benchmark tables read like the figures.
 from __future__ import annotations
 
 import math
-from typing import List
 
 __all__ = [
     "KB",
@@ -89,7 +88,7 @@ def wire_time_us(nbytes: int, bandwidth_mbps: float) -> float:
     return nbytes / mbps_to_bytes_per_us(bandwidth_mbps)
 
 
-def log2_size_sweep(lo: str | int, hi: str | int) -> List[int]:
+def log2_size_sweep(lo: str | int, hi: str | int) -> list[int]:
     """Inclusive power-of-two sweep between two sizes, like the figure axes.
 
     ``log2_size_sweep("4", "2M")`` reproduces the x axis of paper Figure 2.

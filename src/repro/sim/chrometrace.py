@@ -15,7 +15,7 @@ instant event.
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.errors import ReproError
 from repro.sim.trace import TraceRecord, Tracer
@@ -84,6 +84,6 @@ def to_chrome_trace(records: Iterable[TraceRecord]) -> list[dict]:
 def write_chrome_trace(tracer: Tracer, path: str) -> int:
     """Write ``tracer``'s records as a Chrome trace file; returns event count."""
     events = to_chrome_trace(tracer.records)
-    with open(path, "w") as fh:
+    with open(path, "w", encoding="utf-8") as fh:  # nm: allow[NM401] -- export runs after run()
         json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
     return len(events)

@@ -24,7 +24,9 @@ benchmark series exactly reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections.abc import Callable, Generator, Iterable
+
+from typing import Any
 
 from repro.errors import SimulationError
 
@@ -53,13 +55,13 @@ class Event:
 
     __slots__ = ("sim", "_callbacks", "_ok", "_value", "_exc", "_defused", "name")
 
-    def __init__(self, sim: "Simulator", name: str = "") -> None:
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks: Optional[list[Callable[["Event"], None]]] = []
-        self._ok: Optional[bool] = None  # None=pending, True=succeeded, False=failed
+        self._callbacks: list[Callable[[Event], None]] | None = []
+        self._ok: bool | None = None  # None=pending, True=succeeded, False=failed
         self._value: Any = None
-        self._exc: Optional[BaseException] = None
+        self._exc: BaseException | None = None
         # Failed events whose exception is never observed raise at run() end
         # unless "defused" (observed by a waiter or explicitly).
         self._defused = False
@@ -87,12 +89,12 @@ class Event:
         raise self._exc
 
     @property
-    def exception(self) -> Optional[BaseException]:
+    def exception(self) -> BaseException | None:
         """The failure exception, or ``None`` (non-raising inspection)."""
         return self._exc
 
     # -- triggering -----------------------------------------------------
-    def succeed(self, value: Any = None) -> "Event":
+    def succeed(self, value: Any = None) -> Event:
         """Mark the event successful and schedule its callbacks."""
         if self._ok is not None:
             raise SimulationError(f"event {self!r} already triggered")
@@ -101,7 +103,7 @@ class Event:
         self.sim._activate(self)
         return self
 
-    def fail(self, exc: BaseException) -> "Event":
+    def fail(self, exc: BaseException) -> Event:
         """Mark the event failed; waiters will see ``exc`` raised."""
         if self._ok is not None:
             raise SimulationError(f"event {self!r} already triggered")
@@ -117,7 +119,7 @@ class Event:
         self._defused = True
 
     # -- waiting --------------------------------------------------------
-    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+    def add_callback(self, fn: Callable[[Event], None]) -> None:
         """Run ``fn(event)`` when the event triggers (immediately if done)."""
         if self._callbacks is None:
             # Already processed: schedule the callback as a fresh occurrence.
@@ -140,7 +142,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(sim, name=f"timeout({delay})")
@@ -170,7 +172,7 @@ class Process(Event):
 
     __slots__ = ("_gen", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = "") -> None:
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "") -> None:
         if not hasattr(gen, "send"):
             raise SimulationError(
                 f"Process requires a generator, got {type(gen).__name__}; "
@@ -178,7 +180,7 @@ class Process(Event):
             )
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on: Event | None = None
         # Kick off the process at the current time.
         init = Event(sim, name=f"init:{self.name}")
         init.add_callback(self._resume)
@@ -256,7 +258,7 @@ class Condition(Event):
 
     __slots__ = ("events", "_n_done")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+    def __init__(self, sim: Simulator, events: Iterable[Event]) -> None:
         super().__init__(sim, name=type(self).__name__)
         self.events: tuple[Event, ...] = tuple(events)
         for evt in self.events:
@@ -326,9 +328,9 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._n_processed = 0
-        self._deadlock_hints: list[Callable[[], Optional[str]]] = []
+        self._deadlock_hints: list[Callable[[], str | None]] = []
 
-    def add_deadlock_hint(self, fn: Callable[[], Optional[str]]) -> None:
+    def add_deadlock_hint(self, fn: Callable[[], str | None]) -> None:
         """Register a diagnosis callback consulted when a deadlock fires.
 
         Each callback returns a short explanation string (or ``None`` for
@@ -391,7 +393,7 @@ class Simulator:
         heapq.heappush(self._queue, (self._now, seq, event))
 
     # -- run loop -------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
         """Process events until the queue drains or ``until`` is reached.
 
         Returns the simulation time at exit.  Raises the exception of any

@@ -15,7 +15,9 @@ Tracing is disabled by default and costs one predicate check per emit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from collections.abc import Callable, Iterator
+
+from typing import Any
 
 __all__ = ["TraceRecord", "Tracer"]
 
@@ -50,8 +52,8 @@ class Tracer:
     def __init__(
         self,
         enabled: bool = False,
-        filter: Optional[Callable[[TraceRecord], bool]] = None,
-        sink: Optional[Callable[[TraceRecord], None]] = None,
+        filter: Callable[[TraceRecord], bool] | None = None,
+        sink: Callable[[TraceRecord], None] | None = None,
     ) -> None:
         self.enabled = enabled
         self.filter = filter
@@ -93,7 +95,7 @@ class Tracer:
         # `tracer or Tracer()` silently dropping an enabled tracer).
         return True
 
-    def dump(self, limit: Optional[int] = None) -> str:
+    def dump(self, limit: int | None = None) -> str:
         """Render captured records as a printable timeline."""
         recs = self.records if limit is None else self.records[:limit]
         return "\n".join(str(r) for r in recs)

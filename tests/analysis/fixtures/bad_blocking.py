@@ -1,0 +1,16 @@
+# nm-path: repro/core/fixture_bad_blocking.py
+"""Fixture: blocking calls reachable from the scheduling core."""
+import time
+
+
+def snapshot(window, path):
+    with open(path, "w") as fh:  # NM401 (filesystem I/O on the hot path)
+        fh.write(str(window.pending_bytes))
+
+
+def lazy_wait():
+    time.sleep(0.01)  # NM401 (real-world blocking in simulated time)
+
+
+def debug(window):
+    print(window)  # NM401 (console I/O in the scheduling core)

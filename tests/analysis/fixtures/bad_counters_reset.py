@@ -1,0 +1,6 @@
+# nm-path: repro/core/fixture_bad_counters_reset.py
+"""Fixture: a stats counter reset (non-increment mutation) in the core."""
+
+
+def clobber(engine):
+    engine.stats.wire_bytes = 0  # NM203 (counters only ever increment)

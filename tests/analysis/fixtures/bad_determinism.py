@@ -1,0 +1,20 @@
+# nm-path: repro/core/strategies/fixture_bad_determinism.py
+"""Fixture: every determinism violation the checker must catch."""
+import time  # NM101
+
+import random
+
+
+def now_stamp():
+    return time.time()
+
+
+def jitter():
+    return random.random()  # NM102 (module-global, unseeded)
+
+
+def drain(pending):
+    total = 0
+    for item in set(pending):  # NM103 (hash-order iteration)
+        total += item
+    return total

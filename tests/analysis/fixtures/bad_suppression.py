@@ -1,0 +1,7 @@
+# nm-path: repro/core/fixture_bad_suppression.py
+"""Fixture: a suppression comment with no justification is itself flagged."""
+import time
+
+
+def stamp():
+    return time.time()  # nm: allow[NM101]

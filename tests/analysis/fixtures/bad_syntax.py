@@ -1,0 +1,5 @@
+# nm-path: repro/core/fixture_bad_syntax.py
+"""Fixture: a file that does not parse reports NM000."""
+
+def broken(:
+    pass

@@ -1,0 +1,21 @@
+# nm-path: repro/core/fixture_good_counters.py
+"""Fixture: counter idioms the checker must accept in the core."""
+
+
+def account(engine, frame):
+    engine.stats.phys_packets += 1  # increment, inside repro/core/
+    engine.stats.wire_bytes += frame.nbytes
+
+
+def inspect(window) -> int:
+    return window.pending_bytes + window.backlog_bytes  # accessor reads
+
+
+class LocalState:
+    def __init__(self):
+        # Same *shape* as the window internals, but written through self:
+        # a class may keep its own private storage.
+        self._count = 0
+
+    def bump(self):
+        self._count += 1

@@ -1,0 +1,18 @@
+# nm-path: repro/core/strategies/fixture_good_determinism.py
+"""Fixture: deterministic idioms the checker must accept."""
+from random import Random
+
+
+def jitter(seed: int) -> float:
+    return Random(seed).random()  # seeded instance: reproducible
+
+
+def drain(pending):
+    total = 0
+    for item in sorted(set(pending)):  # sorted() restores a total order
+        total += item
+    return total
+
+
+def stamp(sim) -> float:
+    return sim.now  # virtual clock, not wall clock

@@ -1,0 +1,20 @@
+# nm-path: repro/core/fixture_good_lifecycle.py
+"""Fixture: lifecycle idioms the checker must accept."""
+
+
+def finish(evt, req):
+    if not evt.ok:  # public Event surface
+        evt.defuse()
+        exc = evt.exception
+        assert exc is not None
+        req.done.fail(exc)
+        return
+    req.done.succeed(evt.value)
+
+
+def read_results(req):
+    return req.actual_src, req.actual_tag, req.actual_len  # reads are fine
+
+
+def consume(window, rail):
+    return window.eligible(rail), window.pending_bytes  # accessor surface

@@ -1,0 +1,7 @@
+# nm-path: repro/core/fixture_suppressed_ok.py
+"""Fixture: a justified suppression silences the finding (audit trail kept)."""
+
+
+def snapshot(window, path):
+    with open(path, "w") as fh:  # nm: allow[NM401] -- post-run export, not hot path
+        fh.write(str(window.pending_bytes))

@@ -1,0 +1,129 @@
+"""Per-checker tests: each bad fixture trips, each good fixture is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from tools.analysis.engine import check_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_fixture(name: str):
+    return check_file(str(FIXTURES / name), root=str(REPO_ROOT))
+
+
+def codes_of(report) -> list[str]:
+    return sorted(v.code for v in report.violations)
+
+
+# -- determinism (NM1xx) ------------------------------------------------------
+
+def test_bad_determinism_trips_every_rule():
+    report = run_fixture("bad_determinism.py")
+    assert "NM101" in codes_of(report)
+    assert "NM102" in codes_of(report)
+    assert "NM103" in codes_of(report)
+
+
+def test_good_determinism_is_clean():
+    report = run_fixture("good_determinism.py")
+    assert report.ok, codes_of(report)
+
+
+# -- counter pairing (NM2xx) --------------------------------------------------
+
+def test_bad_counters_trips_write_shadow_and_strategy_bump():
+    report = run_fixture("bad_counters.py")
+    codes = codes_of(report)
+    assert "NM201" in codes  # window-private write outside window.py
+    assert "NM202" in codes  # accessor-name shadowing
+    assert "NM204" in codes  # stats bump inside a strategy
+
+
+def test_bad_counters_reset_trips_non_increment():
+    report = run_fixture("bad_counters_reset.py")
+    assert codes_of(report) == ["NM203"]
+
+
+def test_good_counters_is_clean():
+    report = run_fixture("good_counters.py")
+    assert report.ok, codes_of(report)
+
+
+# -- lifecycle discipline (NM3xx) ---------------------------------------------
+
+def test_bad_lifecycle_trips_every_rule():
+    report = run_fixture("bad_lifecycle.py")
+    codes = codes_of(report)
+    assert "NM301" in codes  # Event kernel-private access
+    assert "NM302" in codes  # transition field write outside its owner
+    assert "NM303" in codes  # window-private read
+    # Both rendezvous fields and both request fields are caught.
+    nm302 = [v for v in report.violations if v.code == "NM302"]
+    assert len(nm302) >= 4
+
+
+def test_good_lifecycle_is_clean():
+    report = run_fixture("good_lifecycle.py")
+    assert report.ok, codes_of(report)
+
+
+# -- event-loop hygiene (NM4xx) -----------------------------------------------
+
+def test_bad_blocking_trips_open_sleep_and_print():
+    report = run_fixture("bad_blocking.py")
+    assert codes_of(report).count("NM401") == 3
+
+
+def test_good_blocking_is_clean():
+    report = run_fixture("good_blocking.py")
+    assert report.ok, codes_of(report)
+
+
+# -- scoping ------------------------------------------------------------------
+
+@pytest.mark.parametrize("vpath", [
+    "repro/bench/outside.py",
+    "tools/analysis/outside.py",
+])
+def test_blocking_rules_do_not_apply_outside_the_core(vpath, tmp_path):
+    src = (FIXTURES / "bad_blocking.py").read_text(encoding="utf-8")
+    src = src.replace("# nm-path: repro/core/fixture_bad_blocking.py",
+                      f"# nm-path: {vpath}")
+    mod = tmp_path / "relocated.py"
+    mod.write_text(src, encoding="utf-8")
+    report = check_file(str(mod), root=str(tmp_path))
+    assert report.ok, codes_of(report)
+
+
+def test_baselines_may_reuse_transition_field_names(tmp_path):
+    # NM302 is scoped to repro/core + repro/madmpi: the baseline models keep
+    # local state machines whose fields share names with the engine's.
+    mod = tmp_path / "baseline.py"
+    mod.write_text(
+        "# nm-path: repro/baselines/fixture_local_state.py\n"
+        "def advance(state, n):\n"
+        "    state.next_offset += n\n"
+        "    state.received += n\n",
+        encoding="utf-8",
+    )
+    report = check_file(str(mod), root=str(tmp_path))
+    assert report.ok, codes_of(report)
+
+
+def test_window_module_itself_may_touch_its_storage(tmp_path):
+    mod = tmp_path / "window.py"
+    mod.write_text(
+        "# nm-path: repro/core/window.py\n"
+        "class OptimizationWindow:\n"
+        "    def reset(self):\n"
+        "        self._count = 0\n"
+        "        self._total_bytes = 0\n",
+        encoding="utf-8",
+    )
+    report = check_file(str(mod), root=str(tmp_path))
+    assert report.ok, codes_of(report)

@@ -75,7 +75,7 @@ class TestMixedSizesOneFlow:
             params = EngineParams(rdv_chunk_bytes=64 * 1024)
             sim, _, e0, e1 = make(params=params)
 
-            def app():
+            def app(size=size):
                 req = e1.irecv(src=0, tag=0)
                 e0.isend(1, VirtualData(size), tag=0)
                 yield req.done

@@ -91,7 +91,7 @@ class TestLog2Sweep:
         assert sizes[0] == 4
         assert sizes[-1] == 2 * MB
         assert len(sizes) == 20
-        for a, b in zip(sizes, sizes[1:]):
+        for a, b in zip(sizes, sizes[1:], strict=False):
             assert b == 2 * a
 
     def test_single_point(self):

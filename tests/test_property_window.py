@@ -92,7 +92,7 @@ def test_incremental_counters_match_brute_force(steps):
             parked.append(wrap)
         elif action < 85:
             # drain_matching: error-path bulk removal by destination
-            gone = win.drain_matching(lambda w: w.dest == dest)
+            gone = win.drain_matching(lambda w, dest=dest: w.dest == dest)
             assert sorted(w.wrap_id for w in gone) == sorted(
                 w.wrap_id for w in live if w.dest == dest)
             live = [w for w in live if w.dest != dest]

@@ -49,7 +49,7 @@ def test_bidirectional_soak(strategy, rails):
         peer = 1 - me
         reqs = [engines[me].irecv(src=peer, tag=i, nbytes=size)
                 for i, size in plan[peer]]
-        for req, (_i, size) in zip(reqs, plan[peer]):
+        for req, (_i, size) in zip(reqs, plan[peer], strict=True):
             yield req.done
             assert req.actual_len == size
 

@@ -1,0 +1,48 @@
+"""CLI for the engine invariant checker (``python -m tools.analysis``)."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from tools.analysis.engine import check_paths, describe_checkers
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analysis",
+        description="Static analysis of the nmad reproduction's engine "
+                    "invariants (determinism, counter pairing, lifecycle "
+                    "discipline, event-loop hygiene).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--list", action="store_true",
+                        help="list checkers and violation codes, then exit")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print findings silenced by "
+                             "`# nm: allow[...]` comments")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(describe_checkers())
+        return 0
+
+    report = check_paths(args.paths or ["src/repro"])
+    for violation in sorted(report.violations):
+        print(violation.render())
+    if args.show_suppressed:
+        for violation in sorted(report.suppressed):
+            print(violation.render())
+    n = len(report.violations)
+    summary = (
+        f"{report.files_checked} file(s) checked, {n} violation(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    print(summary if n == 0 else f"FAILED: {summary}", file=sys.stderr)
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Event-loop hygiene checker (NM4xx).
+
+Everything under ``repro/core``, ``repro/sim`` and ``repro/netsim`` runs
+inside (or is reachable from) simulator callbacks: NIC idle hooks, frame
+arrival handlers, retransmit timers.  A single blocking call there stalls
+the *host* process while the simulated clock stands still — the classic
+"simulation that takes a day because a print sat in the frame handler".
+The rule:
+
+* **NM401** — no blocking or I/O-performing calls in the scheduling core:
+  ``time.sleep``, ``input()``, ``open()``, ``print()``, ``breakpoint()``,
+  ``os.system``, any ``subprocess.*`` / ``socket.*`` use.  Reporting
+  belongs in the CLI/bench layers; trace *export* helpers that run after
+  the event loop may suppress with a justification
+  (``# nm: allow[NM401] -- …``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.base import Checker, attr_chain_root
+
+_BLOCKING_BUILTINS = frozenset({"input", "open", "print", "breakpoint"})
+_BLOCKING_MODULES = frozenset({"subprocess", "socket"})
+_BLOCKING_ATTRS = {
+    "time": frozenset({"sleep"}),
+    "os": frozenset({"system", "popen", "fork", "wait", "waitpid"}),
+}
+
+
+class BlockingChecker(Checker):
+    name = "blocking"
+    codes = {
+        "NM401": "blocking or I/O call reachable from kernel callbacks",
+    }
+    scope = ("repro/core/", "repro/sim/", "repro/netsim/")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _BLOCKING_BUILTINS:
+            self.report(node, "NM401",
+                        f"{func.id}() in the scheduling core: kernel "
+                        "callbacks must never block or perform I/O")
+        elif isinstance(func, ast.Attribute):
+            root = attr_chain_root(func)
+            if isinstance(root, ast.Name):
+                if root.id in _BLOCKING_MODULES:
+                    self.report(node, "NM401",
+                                f"{root.id}.{func.attr}() in the scheduling "
+                                "core: kernel callbacks must never block or "
+                                "perform I/O")
+                elif func.attr in _BLOCKING_ATTRS.get(root.id, ()):
+                    self.report(node, "NM401",
+                                f"{root.id}.{func.attr}() in the scheduling "
+                                "core: kernel callbacks must never block or "
+                                "perform I/O")
+        self.generic_visit(node)

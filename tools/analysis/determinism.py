@@ -1,0 +1,96 @@
+"""Determinism checker (NM1xx).
+
+The simulation kernel promises exact reproducibility: events at equal
+timestamps fire in FIFO order, every benchmark series is replayable, and
+the figures pipeline asserts bit-identical output across runs.  That
+promise dies the moment scheduling-core code consults wall-clock time or
+an unseeded global RNG, or iterates a ``set`` whose order depends on
+``PYTHONHASHSEED``.  The rules:
+
+* **NM101** — no ``time`` / ``datetime`` import in the scheduling core.
+  Simulated time comes from ``Simulator.now``; there is no legitimate use
+  of host clocks in ``repro/core``, ``repro/sim`` or ``repro/netsim``.
+* **NM102** — no module-level ``random`` functions (``random.random()``,
+  ``from random import choice`` …).  Constructing a seeded
+  ``random.Random(seed)`` instance is allowed — that is the supported
+  pattern (see ``repro/bench/workloads.py``).
+* **NM103** — no direct iteration over a set display, ``set()`` /
+  ``frozenset()`` call, or set comprehension.  Iteration order of string
+  sets varies per process; wrap the expression in ``sorted(...)`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.base import Checker
+
+_CLOCK_MODULES = ("time", "datetime")
+_ALLOWED_RANDOM_IMPORTS = ("Random", "SystemRandom")
+
+
+class DeterminismChecker(Checker):
+    name = "determinism"
+    codes = {
+        "NM101": "wall-clock module imported in the scheduling core",
+        "NM102": "unseeded global random.* used in the scheduling core",
+        "NM103": "iteration over a set (hash-order dependent)",
+    }
+    scope = ("repro/core/", "repro/sim/", "repro/netsim/")
+
+    # -- NM101 / NM102: imports ------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            top = alias.name.split(".")[0]
+            if top in _CLOCK_MODULES:
+                self.report(node, "NM101",
+                            f"import of {alias.name!r}: the scheduling core "
+                            "must use Simulator.now, never host clocks")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = (node.module or "").split(".")[0]
+        if node.level == 0 and module in _CLOCK_MODULES:
+            self.report(node, "NM101",
+                        f"import from {node.module!r}: the scheduling core "
+                        "must use Simulator.now, never host clocks")
+        if node.level == 0 and module == "random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_RANDOM_IMPORTS:
+                    self.report(node, "NM102",
+                                f"from random import {alias.name}: only "
+                                "seeded random.Random instances are "
+                                "deterministic")
+        self.generic_visit(node)
+
+    # -- NM102: random.<fn>() calls -------------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name) and node.value.id == "random"
+                and node.attr not in _ALLOWED_RANDOM_IMPORTS):
+            self.report(node, "NM102",
+                        f"random.{node.attr}: global RNG state is shared and "
+                        "unseeded; use a random.Random(seed) instance")
+        self.generic_visit(node)
+
+    # -- NM103: set iteration --------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _check_iterable(self, expr: ast.expr) -> None:
+        if self._is_set_expr(expr):
+            self.report(expr, "NM103",
+                        "iterating a set: order depends on PYTHONHASHSEED; "
+                        "wrap in sorted(...) to fix the order")
+
+    @staticmethod
+    def _is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Set | ast.SetComp):
+            return True
+        return (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Name)
+                and expr.func.id in ("set", "frozenset"))

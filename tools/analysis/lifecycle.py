@@ -1,0 +1,118 @@
+"""Lifecycle-discipline checker (NM3xx).
+
+Wrap, packet and request state transitions (submit → anticipate →
+commit/dissolve → complete/cancel) must happen through the API surface —
+``Event.succeed``/``fail``/``defuse``, ``RecvRequest.finish``,
+``RendezvousManager``'s transition methods — never by poking the state
+fields from outside the owning module.  The failure mode is exactly the
+one cancel()/uncommit_anticipated() guards against: a half-applied
+transition that leaves the window, the rendezvous table and the completion
+event telling three different stories.  The rules:
+
+* **NM301** — the kernel-private fields of :class:`repro.sim.core.Event`
+  (``_ok``/``_value``/``_exc``/``_defused``/``_callbacks``/…) are
+  touched only inside ``repro/sim/core.py``.  Outside the kernel, use
+  ``triggered``/``ok``/``value``/``exception``/``defuse()``.
+* **NM302** — rendezvous transfer state (``granted``/``next_offset``/
+  ``bytes_sent``/``received``) transitions only inside
+  ``repro/core/rendezvous.py``; receive results
+  (``actual_src``/``actual_tag``/``actual_len``) only via
+  ``RecvRequest.finish`` in ``repro/core/requests.py``.
+* **NM303** — the window's private storage is not even *read* from
+  outside ``repro/core/window.py``: strategies consume the
+  ``eligible*``/``backlog*``/``pending_bytes`` accessors, which is what
+  keeps the storage layout swappable (the deque→dict rewrite of PR 2
+  touched nothing outside window.py precisely because of this).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.base import Checker, assignment_targets, is_self_access
+from tools.analysis.counters import WINDOW_MODULE, WINDOW_PRIVATE
+
+#: Kernel-private Event/Process/Condition state, owner repro/sim/core.py.
+EVENT_PRIVATE = frozenset({
+    "_ok", "_value", "_exc", "_defused", "_callbacks",
+    "_gen", "_waiting_on", "_n_done",
+})
+EVENT_MODULE = "repro/sim/core.py"
+
+#: NM302 applies where engine state objects circulate.  The baselines
+#: (repro/baselines/) reimplement a classic library with their own local
+#: state machines that reuse field names like ``next_offset``; they never
+#: hold engine rendezvous/request objects, so they are out of scope.
+_NM302_SCOPE = ("repro/core/", "repro/madmpi/")
+
+#: Transition fields and the single module allowed to write them.
+_WRITE_OWNERS: dict[str, frozenset[str]] = {
+    "repro/core/rendezvous.py": frozenset({
+        "granted", "next_offset", "bytes_sent", "received",
+    }),
+    "repro/core/requests.py": frozenset({
+        "actual_src", "actual_tag", "actual_len",
+    }),
+}
+
+
+class LifecycleChecker(Checker):
+    name = "lifecycle"
+    codes = {
+        "NM301": "Event kernel-private state touched outside sim/core.py",
+        "NM302": "lifecycle transition field written outside its owner module",
+        "NM303": "window-private storage read outside window.py",
+    }
+    scope = ("repro/",)
+
+    # -- NM301 / NM303: any access (read or write) -----------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = node.attr
+        if (attr in EVENT_PRIVATE and self.ctx.path != EVENT_MODULE
+                and not is_self_access(node)):
+            self.report(node, "NM301",
+                        f"access to kernel-private {attr!r} outside the "
+                        "simulation kernel; use the public Event API "
+                        "(triggered/ok/value/exception/defuse)")
+        if (attr in WINDOW_PRIVATE and self.ctx.path != WINDOW_MODULE
+                and not is_self_access(node)
+                and isinstance(node.ctx, ast.Load)):
+            # Writes are NM201 (counters checker); this code covers reads.
+            self.report(node, "NM303",
+                        f"read of window-private {attr!r} outside "
+                        "repro/core/window.py; consume the eligible*/"
+                        "backlog*/pending_bytes accessors instead")
+        self.generic_visit(node)
+
+    # -- NM302: writes only ----------------------------------------------------
+    def _check_write(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute) or is_self_access(target):
+            return
+        if not self.ctx.path.startswith(_NM302_SCOPE):
+            return
+        for owner, fields in _WRITE_OWNERS.items():
+            if target.attr in fields and self.ctx.path != owner:
+                self.report(target, "NM302",
+                            f"write to transition field {target.attr!r} "
+                            f"outside {owner}; state machines advance only "
+                            "through their owner's API")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in assignment_targets(node):
+            self._check_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        for target in assignment_targets(node):
+            self._check_write(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        for target in assignment_targets(node):
+            self._check_write(target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in assignment_targets(node):
+            self._check_write(target)
+        self.generic_visit(node)
