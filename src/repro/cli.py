@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="off",
                         help="transport reliability mode (default: off, "
                              "the paper's no-retransmission engine)")
+    report.add_argument("--flow-control", choices=("off", "credit"),
+                        default="off",
+                        help="credit-based overload protection (default: "
+                             "off, the paper's unbounded engine)")
     report.add_argument("--rails", type=int, choices=(1, 2), default=1,
                         help="1 = MX only; 2 = MX + Quadrics multirail")
     report.add_argument("--messages", type=int, default=40,
@@ -88,10 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="drop the Nth frame on the node0->node1 rail0 "
                              "link (repeatable)")
+    report.add_argument("--slow-link", type=float, default=None,
+                        metavar="FACTOR",
+                        help="multiply the node0->node1 rail0 link latency "
+                             "by FACTOR for the whole run (degraded link)")
     report.add_argument("--link-down-at", type=float, default=None,
                         metavar="US",
                         help="take the node0->node1 link of the last rail "
                              "permanently down at this time (us)")
+    report.add_argument("--json", action="store_true",
+                        help="emit the full report as a JSON object instead "
+                             "of text tables")
     return parser
 
 
@@ -164,8 +175,86 @@ def _profiles(out) -> None:
         ))
 
 
-def _report(args, out) -> int:
+# The report's engine-stats table, grouped by subsystem.  The groups must
+# jointly cover every EngineStats field (asserted at report time) so a new
+# counter cannot silently fall out of the report.
+REPORT_STAT_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("core", (
+        "phys_packets", "items_sent", "aggregated_packets",
+        "aggregated_segments", "anticipated_hits", "eager_bytes",
+        "rdv_bytes", "wire_bytes", "recv_copies", "recv_copy_bytes",
+    )),
+    ("reliability", (
+        "retransmits", "duplicates_suppressed", "failovers",
+        "rails_quarantined", "acks_sent", "corrupt_discards",
+        "transport_failures",
+    )),
+    ("flow_control", (
+        "credit_stalls", "window_full_events", "unexpected_overflows",
+        "credits_granted", "nacks_sent", "nack_resends",
+    )),
+)
+
+
+def _report_payload(args, pair, messages, stalled) -> dict:
+    """Structured report: one dict, rendered as text or dumped as JSON."""
     import dataclasses
+
+    from repro.netsim.stats import cluster_utilization
+
+    grouped_fields = {f for _, fields in REPORT_STAT_GROUPS for f in fields}
+    engines = []
+    for mpi in pair.ranks:
+        engine = mpi.engine
+        stats = dataclasses.asdict(engine.stats)
+        missing = sorted(set(stats) - grouped_fields)
+        assert not missing, f"EngineStats fields not in any group: {missing}"
+        engines.append({
+            "node": engine.node_id,
+            "strategy": engine.strategy.describe(),
+            **{group: {f: stats[f] for f in fields}
+               for group, fields in REPORT_STAT_GROUPS},
+            "matcher": {
+                "duplicates_dropped": engine.matcher.duplicates_dropped,
+                "unexpected_bytes": engine.matcher.unexpected_bytes,
+                "peak_unexpected_bytes": engine.matcher.peak_unexpected_bytes,
+                "refused_total": engine.matcher.refused_total,
+            },
+            "window": {"peak_bytes": engine.window.peak_bytes,
+                       "deferred": engine.collect.n_deferred},
+            "rails_ok": [r for r in range(len(engine.node.nics))
+                         if engine.reliability.rail_ok(r)],
+        })
+    return {
+        "config": {
+            "rails": args.rails,
+            "reliability": args.reliability,
+            "flow_control": args.flow_control,
+            "messages": args.messages,
+            "seed": args.seed,
+        },
+        "replay": {
+            "ok": stalled is None,
+            "messages": len(messages),
+            "payload_bytes": sum(m.size for m in messages),
+            "elapsed_us": pair.sim.now,
+            "error": None if stalled is None else str(stalled),
+        },
+        "engines": engines,
+        "utilization": [
+            {"nic": u.name, "busy_fraction": u.busy_fraction,
+             "tx_mbps": u.achieved_tx_mbps, "frames_sent": u.frames_sent,
+             "bytes_sent": u.bytes_sent}
+            for u in cluster_utilization(pair.cluster)
+        ],
+        "faults": {**pair.cluster.fault_summary(),
+                   "conservation_ok":
+                       pair.cluster.conservation_ok(allow_faults=True)},
+    }
+
+
+def _report(args, out) -> int:
+    import json
 
     from repro.bench.backends import make_backend_pair
     from repro.bench.workloads import TrafficSpec, generate_messages, replay
@@ -183,13 +272,21 @@ def _report(args, out) -> int:
     rails = ((MX_MYRI10G,) if args.rails == 1
              else (MX_MYRI10G, QUADRICS_QM500))
     strategy = "aggregation" if args.rails == 1 else "multirail"
-    params = EngineParams(reliability=args.reliability)
+    params = EngineParams(reliability=args.reliability,
+                          flow_control=args.flow_control)
     pair = make_backend_pair("madmpi", rails=rails, strategy=strategy,
                              engine_params=params)
-    if args.drop_nth or args.link_down_at is not None:
-        fault_rail = 0 if args.drop_nth else len(rails) - 1
+    if (args.drop_nth or args.slow_link is not None
+            or args.link_down_at is not None):
+        # drop/slow target the rail-0 link; a link-down alone targets the
+        # last rail (so a 2-rail run exercises failover).
+        fault_rail = (0 if args.drop_nth or args.slow_link is not None
+                      else len(rails) - 1)
+        slow = (args.slow_link, 0.0, None) if args.slow_link is not None \
+            else None
         try:
             plan = FaultPlan(drop_nth=tuple(args.drop_nth),
+                             slow_link=slow,
                              down_at_us=args.link_down_at)
         except NetworkError as exc:
             raise SystemExit(f"invalid fault plan: {exc}") from None
@@ -203,23 +300,35 @@ def _report(args, out) -> int:
     stalled = None
     try:
         replay(pair, messages, verify_content=True)
-        total = sum(m.size for m in messages)
-        _print(out, (f"replayed {len(messages)} messages "
-                     f"({total} payload bytes) node0 -> node1 in "
-                     f"{pair.sim.now:.1f}us [reliability={args.reliability}]"))
     except SimulationError as exc:
         stalled = exc
+    payload = _report_payload(args, pair, messages, stalled)
 
-    for mpi in pair.ranks:
-        engine = mpi.engine
-        lines = [f"-- engine stats: node{engine.node_id} "
-                 f"(strategy={engine.strategy.describe()}) --"]
-        for key, value in dataclasses.asdict(engine.stats).items():
-            lines.append(f"  {key:<22} {value}")
-        lines.append(f"  {'matcher_dup_dropped':<22} "
-                     f"{engine.matcher.duplicates_dropped}")
-        lines.append(f"  {'rails_ok':<22} "
-                     f"{[r for r in range(len(engine.node.nics)) if engine.reliability.rail_ok(r)]}")
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0 if stalled is None else 1
+
+    if stalled is None:
+        rep = payload["replay"]
+        _print(out, (f"replayed {rep['messages']} messages "
+                     f"({rep['payload_bytes']} payload bytes) "
+                     f"node0 -> node1 in {rep['elapsed_us']:.1f}us "
+                     f"[reliability={args.reliability} "
+                     f"flow_control={args.flow_control}]"))
+    for eng in payload["engines"]:
+        lines = [f"-- engine stats: node{eng['node']} "
+                 f"(strategy={eng['strategy']}) --"]
+        for group, fields in REPORT_STAT_GROUPS:
+            lines.append(f"  [{group}]")
+            for field in fields:
+                lines.append(f"    {field:<22} {eng[group][field]}")
+        lines.append("  [matcher]")
+        for key, value in eng["matcher"].items():
+            lines.append(f"    {key:<22} {value}")
+        lines.append("  [window]")
+        for key, value in eng["window"].items():
+            lines.append(f"    {key:<22} {value}")
+        lines.append(f"  rails_ok: {eng['rails_ok']}")
         _print(out, "\n".join(lines))
     _print(out, render_utilization(cluster_utilization(pair.cluster)))
     _print(out, render_fault_summary(pair.cluster))

@@ -3,6 +3,7 @@
 import repro.core.strategies  # noqa: F401  (registers the built-in strategies)
 from repro.core.data import Bytes, SegmentData, VirtualData, as_data
 from repro.core.engine import EngineParams, EngineStats, NmadEngine
+from repro.core.flowcontrol import FlowControlLayer
 from repro.core.interface import (
     PackMessage,
     UnpackMessage,
@@ -51,6 +52,7 @@ __all__ = [
     "EngineParams",
     "EngineStats",
     "FifoStrategy",
+    "FlowControlLayer",
     "HeaderSpec",
     "MultirailStrategy",
     "NicLike",

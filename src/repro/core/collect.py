@@ -13,17 +13,30 @@ Concretely: :meth:`CollectLayer.submit` wraps user data into a
 sequence number, drops it into the optimization window (dedicated or common
 list) and kicks the transfer layer so an idle NIC picks it up immediately —
 requests only *accumulate* while the cards are busy (paper §3.1).
+
+The paper's window is unbounded.  The opt-in overload protection
+(``EngineParams.max_window_wraps`` / ``max_window_bytes``) bounds it here,
+at the submission boundary: a submission that would overflow is either
+**deferred** on a FIFO queue until :meth:`~repro.core.window.OptimizationWindow.take`
+frees space (``window_policy="block"`` — backpressure without losing the
+nonblocking ``isend`` API: the caller still gets a request whose completion
+fires late) or refused with :class:`~repro.errors.WindowFullError`
+(``"fail"``).  Deferred wraps receive their sequence number at *admission*,
+not submission, so the fail-fast policy leaves no holes in a ``(dest,
+flow)`` stream, and the FIFO order makes admission order equal submission
+order for the wraps that do get in.  Engine control wraps bypass the caps:
+they are the grants and acks that drain the window.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import TYPE_CHECKING
 
 from repro.core.data import SegmentData, as_data
 from repro.core.packet import PacketWrap, WireItem
 from repro.core.data import VirtualData
-from repro.errors import NetworkError
+from repro.errors import NetworkError, WindowFullError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.engine import NmadEngine
@@ -43,6 +56,13 @@ class CollectLayer:
     def __init__(self, engine: NmadEngine) -> None:
         self.engine = engine
         self._seq: defaultdict[tuple[int, int], int] = defaultdict(int)
+        self._max_wraps = engine.params.max_window_wraps
+        self._max_bytes = engine.params.max_window_bytes
+        self._bounded = bool(self._max_wraps or self._max_bytes)
+        self._fail_fast = engine.params.window_policy == "fail"
+        self._deferred: deque[PacketWrap] = deque()
+        if self._bounded:
+            engine.window.on_space = self._drain_deferred
 
     def submit(
         self,
@@ -64,23 +84,89 @@ class CollectLayer:
         if flow == CONTROL_FLOW:
             raise NetworkError(f"flow {CONTROL_FLOW} is reserved for control")
         seg = as_data(data)
-        key = (dest, flow)
-        seq = self._seq[key]
-        self._seq[key] += 1
+        # FIFO fairness: once anything is deferred, every later submission
+        # queues behind it even if it would fit — no small-message overtaking
+        # of a waiting large one.
+        over = self._bounded and (bool(self._deferred)
+                                  or not self._fits(seg.nbytes))
+        if over:
+            self.engine.stats.window_full_events += 1
+            if self._fail_fast:
+                raise WindowFullError(
+                    f"node{self.engine.node_id}: optimization window full "
+                    f"({len(self.engine.window)} wraps, "
+                    f"{self.engine.window.pending_bytes()}B pending, "
+                    f"{len(self._deferred)} deferred) under "
+                    f"window_policy='fail'"
+                )
+        # seq=0 is a placeholder: the real per-(dest, flow) sequence number
+        # is assigned at admission so a failed submission leaves no hole.
         wrap = PacketWrap(
-            dest=dest, flow=flow, tag=tag, seq=seq, data=seg,
+            dest=dest, flow=flow, tag=tag, seq=0, data=seg,
             priority=priority, allow_reorder=allow_reorder,
             depends_on=depends_on, rail=rail,
             submitted_at=self.engine.sim.now,
             completion=self.engine.sim.event(name=f"send:{dest}/{flow}/{tag}"),
         )
+        if over:
+            self._deferred.append(wrap)
+            self.engine.tracer.emit(self.engine.sim.now,
+                                    f"node{self.engine.node_id}.collect",
+                                    "defer", dest=dest, flow=flow, tag=tag,
+                                    nbytes=seg.nbytes,
+                                    queued=len(self._deferred))
+            self.engine.poke_watchdog()
+            return wrap
+        self._admit(wrap)
+        return wrap
+
+    def _fits(self, nbytes: int) -> bool:
+        """Would one more wrap of ``nbytes`` respect the window caps?
+
+        The byte cap only refuses a *nonempty* window: a single wrap larger
+        than ``max_window_bytes`` must still be admissible (alone) or it
+        could never be sent.
+        """
+        window = self.engine.window
+        if self._max_wraps and len(window) >= self._max_wraps:
+            return False
+        return not (self._max_bytes and len(window)
+                    and window.pending_bytes() + nbytes > self._max_bytes)
+
+    def _admit(self, wrap: PacketWrap) -> None:
+        key = (wrap.dest, wrap.flow)
+        wrap.seq = self._seq[key]
+        self._seq[key] += 1
         self.engine.window.submit(wrap)
         self.engine.tracer.emit(self.engine.sim.now,
                                 f"node{self.engine.node_id}.collect",
-                                "submit", dest=dest, flow=flow, tag=tag,
-                                seq=seq, nbytes=seg.nbytes)
+                                "submit", dest=wrap.dest, flow=wrap.flow,
+                                tag=wrap.tag, seq=wrap.seq,
+                                nbytes=wrap.length)
+        self.engine.poke_watchdog()
         self.engine.transfer.kick()
-        return wrap
+
+    def _drain_deferred(self) -> None:
+        """Window space freed: admit deferred submissions, oldest first."""
+        while self._deferred and self._fits(self._deferred[0].length):
+            self._admit(self._deferred.popleft())
+
+    def cancel_deferred(self, wrap: PacketWrap) -> bool:
+        """Remove a still-deferred wrap from the waiter queue.
+
+        A deferred wrap never drew a sequence number, so — unlike a wrap
+        cancelled out of the window — no tombstone needs to travel.
+        """
+        for i, waiting in enumerate(self._deferred):
+            if waiting.wrap_id == wrap.wrap_id:
+                del self._deferred[i]
+                return True
+        return False
+
+    @property
+    def n_deferred(self) -> int:
+        """Submissions waiting for window space (quiesce/diagnostics)."""
+        return len(self._deferred)
 
     def submit_control(
         self, dest: int, item: WireItem, priority: int = CONTROL_PRIORITY
@@ -89,7 +175,9 @@ class CollectLayer:
 
         Control wraps carry no payload bytes, never consume a sequence
         number (they bypass the matcher) and travel at maximum priority so
-        grants are never stuck behind queued data.
+        grants are never stuck behind queued data.  They also bypass the
+        window caps: blocking the records that drain the window would
+        deadlock it.
         """
         wrap = PacketWrap(
             dest=dest, flow=CONTROL_FLOW, tag=0, seq=0,
@@ -103,9 +191,14 @@ class CollectLayer:
                                 f"node{self.engine.node_id}.collect",
                                 "submit_control", dest=dest,
                                 item=type(item).__name__)
+        self.engine.poke_watchdog()
         self.engine.transfer.kick()
         return wrap
 
     def next_seq(self, dest: int, flow: int) -> int:
-        """The sequence number the next submit to ``(dest, flow)`` will get."""
+        """The sequence number the next submit to ``(dest, flow)`` will get.
+
+        Counts only *admitted* submissions; with a bounded window, deferred
+        wraps have not drawn their number yet.
+        """
         return self._seq[(dest, flow)]

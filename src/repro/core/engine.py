@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.core.collect import CollectLayer
 from repro.core.data import SegmentData
+from repro.core.flowcontrol import FlowControlLayer
 from repro.core.matching import Incoming, Matcher
 from repro.core.packet import CancelItem, HeaderSpec, RdvReqItem, SegItem
 from repro.core.reliability import ReliabilityLayer
@@ -31,6 +32,7 @@ from repro.errors import MpiError
 from repro.netsim.node import Node
 from repro.netsim.profiles import NicProfile
 from repro.sim import Event, Tracer
+from repro.sim.core import Watchdog
 
 __all__ = ["EngineParams", "EngineStats", "NmadEngine"]
 
@@ -85,6 +87,39 @@ class EngineParams:
     #: Consecutive retransmit-timeouts that quarantine a rail (when another
     #: healthy rail exists).
     rel_quarantine_threshold: int = 3
+    #: Overload protection (see :mod:`repro.core.flowcontrol`).  The paper's
+    #: engine assumes well-behaved peers and unbounded buffering, so
+    #: ``"off"`` is the default and keeps every benchmark figure
+    #: bit-identical; ``"credit"`` turns on receive-side credit flow control
+    #: for eager traffic (rendezvous traffic is self-paced by its grant).
+    flow_control: str = "off"
+    #: Per-peer eager credit budget: payload bytes and wrap count a sender
+    #: may have outstanding (unconsumed by the receiving application).
+    credit_bytes: int = 256 * 1024
+    credit_wraps: int = 256
+    #: Reverse-silence window before a standalone credit frame carries a
+    #: pending grant (grants otherwise piggyback on any reverse frame).
+    credit_grant_delay_us: float = 25.0
+    #: Base delay before a NACKed (receiver-refused) segment is resent;
+    #: doubles per consecutive refusal from the same peer.
+    nack_delay_us: float = 50.0
+    #: Bounded collect layer: caps on the optimization window (0 = the
+    #: paper's unbounded window).  When full, ``window_policy`` decides:
+    #: ``"block"`` defers the submission FIFO until the window drains,
+    #: ``"fail"`` raises :class:`~repro.errors.WindowFullError`.
+    max_window_wraps: int = 0
+    max_window_bytes: int = 0
+    window_policy: str = "block"
+    #: Receiver memory budget: cap on buffered unexpected eager payload
+    #: bytes in the matcher (0 = unbounded).  Requires ``"credit"`` mode —
+    #: overflow takes the NACK-and-resend path, which needs the credit
+    #: machinery.
+    max_unexpected_bytes: int = 0
+    #: Progress watchdog period in virtual microseconds (0 = off).  While
+    #: the engine has outstanding work, a progress token is sampled every
+    #: interval; two consecutive unchanged samples raise
+    #: :class:`~repro.errors.ProgressStallError` with a per-peer dump.
+    watchdog_interval_us: float = 0.0
 
     def __post_init__(self) -> None:
         if min(self.pull_cost_us, self.per_mtu_cost_us,
@@ -115,6 +150,34 @@ class EngineParams:
             raise ValueError("negative ack delay")
         if self.rel_quarantine_threshold < 1:
             raise ValueError("quarantine threshold must be >= 1")
+        if self.flow_control not in ("off", "credit"):
+            raise ValueError(
+                f"unknown flow control mode {self.flow_control!r}; "
+                "expected off | credit"
+            )
+        if self.credit_bytes < 1 or self.credit_wraps < 1:
+            raise ValueError("credit budgets must be positive")
+        if self.credit_grant_delay_us < 0:
+            raise ValueError("negative credit grant delay")
+        if self.nack_delay_us < 0:
+            raise ValueError("negative nack delay")
+        if self.max_window_wraps < 0 or self.max_window_bytes < 0:
+            raise ValueError("negative window cap")
+        if self.window_policy not in ("block", "fail"):
+            raise ValueError(
+                f"unknown window policy {self.window_policy!r}; "
+                "expected block | fail"
+            )
+        if self.max_unexpected_bytes < 0:
+            raise ValueError("negative unexpected-bytes budget")
+        if self.max_unexpected_bytes and self.flow_control != "credit":
+            raise ValueError(
+                "max_unexpected_bytes needs flow_control='credit': a "
+                "refused message is only recoverable through the "
+                "NACK-and-resend path"
+            )
+        if self.watchdog_interval_us < 0:
+            raise ValueError("negative watchdog interval")
 
     def per_mtu_cost(self, profile: NicProfile) -> float:
         """Data-path inspection cost per MTU for this driver."""
@@ -146,6 +209,13 @@ class EngineStats:
     acks_sent: int = 0
     corrupt_discards: int = 0
     transport_failures: int = 0
+    # Flow-control counters (all zero in "off" mode).
+    credit_stalls: int = 0         # destination transitions to credit-blocked
+    window_full_events: int = 0    # submissions deferred or refused at the cap
+    unexpected_overflows: int = 0  # eager arrivals refused by the matcher
+    credits_granted: int = 0       # grants advertising newly released credit
+    nacks_sent: int = 0            # refused segments bounced to their sender
+    nack_resends: int = 0          # bounced segments re-entered the window
 
 
 class NmadEngine:
@@ -169,14 +239,43 @@ class NmadEngine:
             create(strategy) if isinstance(strategy, str) else strategy
         )
         self.stats = EngineStats()
-        self.window = OptimizationWindow(n_rails=len(node.nics))
+        credit_on = self.params.flow_control == "credit"
+        # Wraps above the largest rendezvous threshold never travel eagerly
+        # (any rail would announce them), so credit gating exempts them —
+        # and a maximal eager segment must fit the budget, or it could
+        # never be sent at all.
+        exempt_floor = max(n.profile.rdv_threshold for n in node.nics)
+        if credit_on and self.params.credit_bytes < exempt_floor:
+            raise MpiError(
+                f"{node.name}: credit_bytes={self.params.credit_bytes} is "
+                f"smaller than the largest rendezvous threshold "
+                f"({exempt_floor}B); a maximal eager segment could never "
+                "be sent"
+            )
+        self.window = OptimizationWindow(
+            n_rails=len(node.nics),
+            exempt_floor=exempt_floor if credit_on else 0,
+        )
         self.matcher = Matcher(self._on_match, tracer=self.tracer,
                                name=f"node{self.node_id}.matcher",
-                               dedup=(self.params.reliability != "off"))
+                               dedup=(self.params.reliability != "off"),
+                               max_unexpected_bytes=
+                                   self.params.max_unexpected_bytes,
+                               on_refuse=self._on_refuse)
         self.rendezvous = RendezvousManager(self)
         self.collect = CollectLayer(self)
         self.reliability = ReliabilityLayer(self)
+        self.flowcontrol = FlowControlLayer(self)
         self.transfer = TransferLayer(self)
+        self.watchdog: Watchdog | None = None
+        if self.params.watchdog_interval_us > 0:
+            self.watchdog = Watchdog(
+                self.sim, self.params.watchdog_interval_us,
+                progress=self._progress_token,
+                active=self._watchdog_active,
+                diagnose=self._stall_report,
+                name=f"node{self.node_id}.watchdog",
+            )
         self.sim.add_deadlock_hint(self._deadlock_hint)
 
     # -- strategy management (paper abstract: dynamically extensible) -----
@@ -222,6 +321,7 @@ class NmadEngine:
             posted_at=self.sim.now,
         )
         self.matcher.post(req)
+        self.poke_watchdog()
         return req
 
     def cancel(self, request: SendRequest) -> bool:
@@ -245,6 +345,15 @@ class NmadEngine:
         from repro.errors import StrategyError
 
         wrap = request.wrap
+        if self.collect.cancel_deferred(wrap):
+            # Never admitted: no sequence number consumed, no tombstone due.
+            if wrap.completion is not None and not wrap.completion.triggered:
+                err = MpiError(f"send cancelled: {wrap!r}")
+                wrap.completion.fail(err)
+                wrap.completion.defuse()
+            self.tracer.emit(self.sim.now, f"node{self.node_id}.collect",
+                             "cancel", wrap=wrap.wrap_id)
+            return True
         try:
             self.window.take(wrap)
         except StrategyError:
@@ -286,6 +395,12 @@ class NmadEngine:
 
     # -- match dispatch -----------------------------------------------------------
     def _on_match(self, inc: Incoming, req: RecvRequest) -> None:
+        if self.flowcontrol.active and isinstance(inc.item, SegItem):
+            # The eager bytes vacate the receive buffer on the match — every
+            # admitted segment funnels through here exactly once (whether it
+            # matched a posted receive or waited unexpected), so the credit
+            # releases exactly once, truncation failures included.
+            self.flowcontrol.release(inc.src, inc.item.data.nbytes)
         if req.capacity is not None and inc.nbytes > req.capacity:
             err = MpiError(
                 f"node{self.node_id}: truncation — {inc.nbytes}B message "
@@ -319,6 +434,84 @@ class NmadEngine:
         else:
             req.finish(item.data, src=inc.src, tag=inc.tag)
 
+    def _on_refuse(self, inc: Incoming) -> None:
+        """The matcher's unexpected-bytes budget refused an eager arrival."""
+        self.stats.unexpected_overflows += 1
+        self.flowcontrol.on_local_refuse(inc)
+
+    # -- progress watchdog ---------------------------------------------------
+    def poke_watchdog(self) -> None:
+        """(Re)arm the watchdog on new work; no-op when it is disabled."""
+        wd = self.watchdog
+        if wd is not None:
+            wd.arm()
+
+    def _progress_token(self) -> object:
+        """Changes whenever the engine makes any observable forward progress:
+        a frame leaves or lands, a message matches, or credit moves."""
+        stats = self.stats
+        return (
+            stats.phys_packets, stats.wire_bytes, stats.recv_copies,
+            stats.credits_granted, stats.nack_resends,
+            self.matcher.delivered, self.matcher.n_posted,
+            self.rendezvous.n_pending, self.rendezvous.n_granted,
+        )
+
+    def _watchdog_active(self) -> bool:
+        """Work is outstanding, so a frozen token means a stall.
+
+        Flow-control transients (a delayed grant advertisement, a scheduled
+        NACK resend) are deliberately excluded: they are simulator timers
+        that always fire on their own, so they cannot be stall symptoms —
+        counting them would trip the watchdog on a healthy receiver whose
+        only pending "work" is a coalesced credit grant.  When a resend
+        fires it re-arms the watchdog via :meth:`poke_watchdog`.
+        """
+        return (
+            self.matcher.n_posted > 0
+            or not self.window.empty
+            or self.transfer.has_anticipated
+            or self.rendezvous.n_pending > 0
+            or self.rendezvous.n_granted > 0
+            or self.rendezvous.n_incoming > 0
+            or self.matcher.n_parked > 0
+            or not self.reliability.quiesced
+            or self.collect.n_deferred > 0
+        )
+
+    def _stall_report(self) -> str:
+        """Per-peer credit/window/backlog dump for ProgressStallError."""
+        win = self.window
+        m = self.matcher
+        peers: dict[int, None] = {}
+        for d in win.dests():
+            peers[d] = None
+        for d in self.flowcontrol.known_peers():
+            peers[d] = None
+        lines = [f"node{self.node_id}: no engine progress "
+                 f"(strategy={self.strategy.describe()})"]
+        for peer in sorted(peers):
+            blocked = " [credit-blocked]" if win.is_blocked(peer) else ""
+            lines.append(
+                f"  peer {peer}: window backlog={win.backlog(peer)} wraps/"
+                f"{win.backlog_bytes(peer)}B{blocked}; "
+                f"{self.flowcontrol.describe_peer(peer)}"
+            )
+        lines.append(
+            f"  collect: deferred={self.collect.n_deferred} submissions"
+        )
+        lines.append(
+            f"  matcher: posted={m.n_posted} parked={m.n_parked} "
+            f"unexpected={m.n_unexpected} ({m.unexpected_bytes}B buffered, "
+            f"{m.refused_total} refused)"
+        )
+        lines.append(
+            f"  rendezvous: pending={self.rendezvous.n_pending} "
+            f"granted={self.rendezvous.n_granted} "
+            f"incoming={self.rendezvous.n_incoming}"
+        )
+        return "\n".join(lines)
+
     # -- introspection ------------------------------------------------------------
     def quiesced(self) -> bool:
         """True when the engine holds no deferred work (end-of-test check)."""
@@ -330,6 +523,8 @@ class NmadEngine:
             and self.rendezvous.n_incoming == 0
             and self.matcher.n_parked == 0
             and self.reliability.quiesced
+            and self.flowcontrol.quiesced
+            and self.collect.n_deferred == 0
         )
 
     def _deadlock_hint(self) -> str | None:
@@ -347,6 +542,15 @@ class NmadEngine:
             )
         if self.matcher.n_posted == 0 and self.quiesced():
             return None
+        if self.flowcontrol.active:
+            blocked = [p for p in self.flowcontrol.known_peers()
+                       if self.window.is_blocked(p)]
+            if blocked:
+                return (
+                    f"node{self.node_id}: credit-blocked towards peer(s) "
+                    f"{blocked} — the receiver never released credit "
+                    "(application not consuming?)"
+                )
         if self.params.reliability == "off":
             return (
                 f"node{self.node_id}: reliability='off' — no retransmission "

@@ -60,6 +60,8 @@ class Matcher:
         tracer: Tracer | None = None,
         name: str = "matcher",
         dedup: bool = False,
+        max_unexpected_bytes: int = 0,
+        on_refuse: Callable[[Incoming], None] | None = None,
     ) -> None:
         self._on_match = on_match
         self.tracer = tracer if tracer is not None else Tracer()
@@ -69,6 +71,14 @@ class Matcher:
         #: of raising: retransmission makes duplicates legitimate, and the
         #: layer's contract is that the application never sees one.
         self.dedup = dedup
+        #: Receiver memory budget: cap on buffered unexpected eager payload
+        #: bytes (0 = the paper's unbounded queue).  An eager arrival that
+        #: finds no posted receive and would overflow is *refused* — handed
+        #: to ``on_refuse`` (the engine NACKs it back to its sender) without
+        #: advancing the sequence stream, so the delayed resend slots
+        #: straight back in.
+        self._max_unexpected = max_unexpected_bytes
+        self._on_refuse = on_refuse
         self._expected: dict[tuple[int, int], int] = {}
         self._parked: dict[tuple[int, int], dict[int, Incoming]] = {}
         self._posted: list[RecvRequest] = []
@@ -79,6 +89,9 @@ class Matcher:
         self.parked_total = 0
         self.unexpected_total = 0
         self.duplicates_dropped = 0
+        self.unexpected_bytes = 0
+        self.peak_unexpected_bytes = 0
+        self.refused_total = 0
 
     # -- arrivals ------------------------------------------------------------
     def deliver(self, inc: Incoming, now: float = 0.0) -> None:
@@ -113,7 +126,8 @@ class Matcher:
             self.tracer.emit(now, self.name, "park",
                              src=inc.src, flow=inc.flow, seq=inc.seq)
             return
-        self._admit(inc)
+        if not self._admit(inc):
+            return
         # Drain consecutively-parked descriptors.
         parked = self._parked.get(key)
         while parked:
@@ -121,18 +135,41 @@ class Matcher:
             follower = parked.pop(nxt, None)
             if follower is None:
                 break
-            self._admit(follower)
+            if not self._admit(follower):
+                # Refused (budget full) and bounced to its sender: the
+                # descriptor is dropped locally — the delayed resend will
+                # redeliver it at this same, still-expected seq — and the
+                # drain stops, as nothing later may overtake it.
+                break
         if parked is not None and not parked:
             del self._parked[key]
 
-    def _admit(self, inc: Incoming) -> None:
+    def _admit(self, inc: Incoming) -> bool:
+        """Admit an in-sequence descriptor; ``False`` = refused (bounced)."""
         key = (inc.src, inc.flow)
-        self._expected[key] = inc.seq + 1
-        self.delivered += 1
         if inc.is_skip:
+            self._expected[key] = inc.seq + 1
+            self.delivered += 1
             self.tracer.emit(inc.arrived_at, self.name, "skip",
                              src=inc.src, flow=inc.flow, seq=inc.seq)
-            return
+            return True
+        # Find the posted match before mutating any state: a refusal must
+        # leave the matcher exactly as it was (sequence stream included).
+        match_idx = -1
+        for idx, req in enumerate(self._posted):
+            if req.flow == inc.flow and req.matches(inc.src, inc.tag):
+                match_idx = idx
+                break
+        if match_idx < 0 and self._over_budget(inc):
+            self.refused_total += 1
+            self.tracer.emit(inc.arrived_at, self.name, "refuse",
+                             src=inc.src, flow=inc.flow, tag=inc.tag,
+                             seq=inc.seq, buffered=self.unexpected_bytes)
+            if self._on_refuse is not None:
+                self._on_refuse(inc)
+            return False
+        self._expected[key] = inc.seq + 1
+        self.delivered += 1
         # Watchers fire on *admission*, before matching: a probe reports
         # that a message arrived, never that it is reserved.  If a
         # pre-posted receive consumes the descriptor in the same instant,
@@ -140,18 +177,40 @@ class Matcher:
         # race, where another receive may always steal the probed message —
         # instead of waiting forever on a watcher tuple that leaks.
         self._wake_watchers(inc)
-        for idx, req in enumerate(self._posted):
-            if req.flow == inc.flow and req.matches(inc.src, inc.tag):
-                del self._posted[idx]
-                self.tracer.emit(inc.arrived_at, self.name, "match",
-                                 src=inc.src, flow=inc.flow, tag=inc.tag,
-                                 seq=inc.seq)
-                self._on_match(inc, req)
-                return
+        if match_idx >= 0:
+            req = self._posted.pop(match_idx)
+            self.tracer.emit(inc.arrived_at, self.name, "match",
+                             src=inc.src, flow=inc.flow, tag=inc.tag,
+                             seq=inc.seq)
+            self._on_match(inc, req)
+            return True
         self._unexpected.append(inc)
         self.unexpected_total += 1
+        if isinstance(inc.item, SegItem):
+            self.unexpected_bytes += inc.item.data.nbytes
+            if self.unexpected_bytes > self.peak_unexpected_bytes:
+                self.peak_unexpected_bytes = self.unexpected_bytes
         self.tracer.emit(inc.arrived_at, self.name, "unexpected",
                          src=inc.src, flow=inc.flow, tag=inc.tag, seq=inc.seq)
+        return True
+
+    def _over_budget(self, inc: Incoming) -> bool:
+        """Would buffering ``inc`` unexpected overflow the byte budget?
+
+        Rendezvous announcements buffer no payload (the data waits on the
+        sender), and an empty buffer always accepts one message regardless
+        of its size — the liveness floor that keeps a budget smaller than
+        one message from wedging the stream.
+        """
+        if not self._max_unexpected:
+            return False
+        item = inc.item
+        if not isinstance(item, SegItem) or item.data.nbytes == 0:
+            return False
+        if not self.unexpected_bytes:
+            return False
+        return (self.unexpected_bytes + item.data.nbytes
+                > self._max_unexpected)
 
     # -- receive posting ----------------------------------------------------
     def post(self, req: RecvRequest) -> None:
@@ -159,6 +218,8 @@ class Matcher:
         for idx, inc in enumerate(self._unexpected):
             if req.flow == inc.flow and req.matches(inc.src, inc.tag):
                 del self._unexpected[idx]
+                if isinstance(inc.item, SegItem):
+                    self.unexpected_bytes -= inc.item.data.nbytes
                 self.tracer.emit(req.posted_at, self.name, "match_unexpected",
                                  src=inc.src, flow=inc.flow, tag=inc.tag)
                 self._on_match(inc, req)

@@ -57,10 +57,12 @@ class HeaderSpec:
     rdv_data_header: int = 24 # per bulk chunk (handle, offset, length)
     rel_header: int = 12      # reliability seq + piggybacked ack record
     checksum: int = 4         # payload checksum (reliability mode only)
+    credit_header: int = 8    # piggybacked credit grant (flow-control mode)
 
     def __post_init__(self) -> None:
         for f in ("global_header", "seg_header", "rdv_req", "rdv_ack",
-                  "rdv_data_header", "rel_header", "checksum"):
+                  "rdv_data_header", "rel_header", "checksum",
+                  "credit_header"):
             if getattr(self, f) < 0:
                 raise ValueError(f"negative header size for {f}")
 
@@ -83,6 +85,7 @@ class PacketWrap:
     rail: int | None = None      # pinned rail (dedicated list) or None
     submitted_at: float = 0.0
     is_control: bool = False        # engine-internal control traffic
+    credit_exempt: bool = False     # bypasses credit gating (NACK resends)
     control_item: WireItem | None = None  # the item a control wrap carries
     wrap_id: int = field(default_factory=lambda: next(_wrap_ids))
     completion: Event | None = None  # succeeds when the send completes

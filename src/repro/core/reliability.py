@@ -277,6 +277,10 @@ class ReliabilityLayer:
                 return r
         return prefer  # no healthy alternative: keep trying where we were
 
+    def choose_rail(self, peer: int, prefer: int = 0) -> int:
+        """Public rail election for other control layers (flow control)."""
+        return self._choose_rail(peer, prefer)
+
     # -- receive side --------------------------------------------------------
     def on_frame(self, rail: int, frame: Frame) -> None:
         """Every engine-NIC arrival funnels through here before demux."""
@@ -294,7 +298,7 @@ class ReliabilityLayer:
         if frame.kind == FrameKind.REL_ACK:
             return
         if self.mode == "off" or frame.rel_seq is None:
-            self.engine.transfer.demux_frame(rail, frame)
+            self.engine.flowcontrol.accept(rail, frame)
             return
         ch = self._channel(frame.src_node)
         if not self._record_rx(ch, frame.rel_seq):
@@ -305,7 +309,7 @@ class ReliabilityLayer:
             self._send_ack(ch)
             return
         self._schedule_delayed_ack(ch)
-        self.engine.transfer.demux_frame(rail, frame)
+        self.engine.flowcontrol.accept(rail, frame)
 
     def _record_rx(self, ch: _Channel, seq: int) -> bool:
         if seq < ch.rx_cum or seq in ch.rx_sacks:

@@ -82,6 +82,10 @@ class AggregationStrategy(Strategy):
             candidates = ctx.window.eligible_for_dest(ctx.rail, dest)
         if dest is None:
             return None
+        # Remaining credit towards the elected destination (None, None when
+        # flow control is off): the aggregate stays within the allowance so
+        # a partially-credited destination is never overdrawn.
+        max_eager_bytes, max_eager_items = ctx.eager_budget(dest)
         choice = plan_aggregate(
             candidates,
             dest=dest,
@@ -89,6 +93,8 @@ class AggregationStrategy(Strategy):
             sent=ctx.sent_wraps,
             max_items=self.max_items,
             scan_past_blockage=self.scan_past_blockage,
+            max_eager_bytes=max_eager_bytes,
+            max_eager_items=max_eager_items,
         )
         if choice.empty:
             return None

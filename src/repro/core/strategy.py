@@ -24,12 +24,15 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.packet import HeaderSpec, PacketWrap, WireItem
 from repro.core.window import OptimizationWindow
 from repro.errors import StrategyError
 from repro.netsim.profiles import NicProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.flowcontrol import FlowControlLayer
 
 __all__ = [
     "SchedulingContext",
@@ -53,11 +56,27 @@ class SchedulingContext:
     now: float
     src_node: int = -1
     sent_wraps: set[int] = field(default_factory=set)
+    #: Credit accounting when ``flow_control="credit"`` is active; ``None``
+    #: in the default mode, where strategies plan unconstrained.
+    flowcontrol: FlowControlLayer | None = None
 
     @property
     def rdv_threshold(self) -> int:
         """The eager/rendezvous switch point of this NIC's driver."""
         return self.nic_profile.rdv_threshold
+
+    def eager_budget(self, dest: int) -> tuple[int | None, int | None]:
+        """Remaining eager credit ``(bytes, wraps)`` towards ``dest``.
+
+        ``(None, None)`` when flow control is off.  A credit-aware strategy
+        caps its aggregate below both numbers; strategies that ignore the
+        budget may transiently overdraw by at most one aggregate — the
+        flow-control layer then blocks the destination until credit
+        returns, so the overdraft is self-correcting.
+        """
+        if self.flowcontrol is None:
+            return (None, None)
+        return self.flowcontrol.planning_budget(dest)
 
 
 @dataclass

@@ -99,6 +99,8 @@ def plan_aggregate(
     sent: set[int],
     max_items: int | None = None,
     scan_past_blockage: bool = True,
+    max_eager_bytes: int | None = None,
+    max_eager_items: int | None = None,
 ) -> AggregateChoice:
     """Choose wraps to coalesce into one physical packet towards ``dest``.
 
@@ -115,12 +117,22 @@ def plan_aggregate(
     reordering is permitted — "reordered (to maximize the number of
     aggregation operations)" (§7).  Scanning stops at the first
     non-reorderable blocked wrap to honour ordering pins.
+
+    ``max_eager_bytes`` / ``max_eager_items`` are the credit flow-control
+    allowance (:meth:`~repro.core.strategy.SchedulingContext.eager_budget`):
+    eager data is additionally capped below the remaining credit towards
+    ``dest``.  Engine control records are credit-exempt (they carry the
+    grants that replenish the budget), and a wrap the allowance excludes
+    behaves exactly like one that does not fit the rendezvous budget.
     """
     if rdv_threshold <= 0:
         raise ValueError(f"bad rendezvous threshold {rdv_threshold}")
     choice = AggregateChoice()
     budget = rdv_threshold
+    if max_eager_bytes is not None and max_eager_bytes < budget:
+        budget = max_eager_bytes
     used = 0
+    n_credit = 0  # eager wraps that will consume a credit (non-control)
     blocked = False
     for wrap in candidates:
         if wrap.dest != dest:
@@ -136,9 +148,15 @@ def plan_aggregate(
             break
         if wrap.length > rdv_threshold:
             choice.announce.append(wrap)
-        elif used + wrap.length <= budget:
+        elif wrap.is_control or wrap.credit_exempt:
+            # Control records carry the replenishing grants; NACK resends
+            # fill the sequence hole everything behind them waits on.
+            choice.eager.append(wrap)
+        elif (used + wrap.length <= budget
+              and (max_eager_items is None or n_credit < max_eager_items)):
             choice.eager.append(wrap)
             used += wrap.length
+            n_credit += 1
         elif not scan_past_blockage:
             break
         else:

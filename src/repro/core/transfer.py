@@ -59,6 +59,9 @@ class TransferLayer:
         self.engine = engine
         self.nics = list(engine.node.nics)
         self.sent_wraps: set[int] = set()
+        # Flow-control hooks are skipped entirely in the default "off" mode
+        # so the hot path stays byte- and microsecond-identical.
+        self._fc_active = engine.flowcontrol.active
         self._pull_pending = [False] * len(self.nics)
         # One pull thunk and one reusable SchedulingContext per rail: the
         # pull path runs once per NIC refill (the paper's §5.1 critical-path
@@ -74,8 +77,10 @@ class TransferLayer:
         for nic in self.nics:
             nic.add_idle_callback(self._on_idle)
             # Every arrival funnels through the reliability layer first
-            # (checksum verification, ack processing, duplicate suppression);
-            # in "off" mode it is a straight pass-through to demux_frame.
+            # (checksum verification, ack processing, duplicate suppression),
+            # then the flow-control layer (grant application, credit/nack
+            # handling); with both modes "off" that is a straight
+            # pass-through to demux_frame.
             nic.set_receive_handler(
                 lambda frame, rail=nic.rail:
                     self.engine.reliability.on_frame(rail, frame)
@@ -108,6 +113,10 @@ class TransferLayer:
                 self.engine.rendezvous.retract(item.handle)
         for w in held:
             self.engine.window.restore(w)
+        if self._fc_active:
+            for w in plan.taken:
+                if not w.is_control and not w.credit_exempt:
+                    self.engine.flowcontrol.refund(plan.dest, w.length)
         self.engine.tracer.emit(self.engine.sim.now,
                                 f"node{self.engine.node_id}.transfer",
                                 "unanticipate", dest=plan.dest,
@@ -161,6 +170,8 @@ class TransferLayer:
                 now=self.engine.sim.now,
                 src_node=self.engine.node_id,
                 sent_wraps=self.sent_wraps,
+                flowcontrol=(self.engine.flowcontrol
+                             if self._fc_active else None),
             )
             self._contexts[rail] = ctx
         else:
@@ -236,6 +247,13 @@ class TransferLayer:
         engine = self.engine
         for wrap in plan.taken + plan.announced:
             engine.window.take(wrap)
+        if self._fc_active:
+            # Credit is spent at commit time: announced (rendezvous) wraps
+            # are exempt — the grant protocol paces them end to end — and
+            # NACK resends were charged when their original went out.
+            for wrap in plan.taken:
+                if not wrap.is_control and not wrap.credit_exempt:
+                    engine.flowcontrol.consume(plan.dest, wrap.length)
         items = list(plan.items)
         for wrap in plan.announced:
             items.append(engine.rendezvous.announce(wrap, rail=rail))
@@ -276,6 +294,8 @@ class TransferLayer:
         engine.tracer.emit(engine.sim.now, f"node{engine.node_id}.transfer",
                            "send_plan", rail=nic.rail, dest=plan.dest,
                            items=len(items), wire=wire)
+        if self._fc_active:
+            engine.flowcontrol.stamp(frame)
         engine.reliability.send(
             nic, frame, cpu_gap_us=cpu_gap,
             on_delivered=lambda: self._plan_sent(plan),
@@ -334,6 +354,8 @@ class TransferLayer:
         engine.tracer.emit(engine.sim.now, f"node{engine.node_id}.transfer",
                            "send_bulk", rail=nic.rail, dest=state.wrap.dest,
                            offset=item.offset, nbytes=item.data.nbytes)
+        if self._fc_active:
+            engine.flowcontrol.stamp(frame)
         engine.reliability.send(
             nic, frame, cpu_gap_us=cpu_gap,
             on_delivered=lambda: engine.rendezvous.chunk_sent(state, item),

@@ -34,9 +34,11 @@ __all__ = ["OptimizationWindow"]
 class OptimizationWindow:
     """Accumulates wraps between submission and scheduling."""
 
-    def __init__(self, n_rails: int) -> None:
+    def __init__(self, n_rails: int, exempt_floor: int = 0) -> None:
         if n_rails < 1:
             raise ValueError("window needs at least one rail")
+        if exempt_floor < 0:
+            raise ValueError("negative exempt floor")
         self.n_rails = n_rails
         # Insertion-ordered storage: wrap_id -> wrap.  Python dicts preserve
         # submission order and delete in O(1), which is what the old
@@ -54,9 +56,22 @@ class OptimizationWindow:
         self._common_bytes = 0
         self._dedicated_bytes = [0] * n_rails
         self._dest_bytes: dict[int, int] = {}
+        # Credit-gating state (flow_control="credit"): destinations the
+        # flow-control layer blocked, and — only when a nonzero
+        # ``exempt_floor`` enables gating — a per-dest count of gate-exempt
+        # wraps (control records, and wraps above the floor, which travel by
+        # rendezvous and pace themselves through its grant).
+        self._exempt_floor = exempt_floor
+        self._gated = exempt_floor > 0
+        self._blocked_dests: set[int] = set()
+        self._dest_exempt: dict[int, int] = {}
         # Peak-occupancy statistics for the ablation benches.
         self.peak_wraps = 0
+        self.peak_bytes = 0
         self.total_submitted = 0
+        #: Fired after every :meth:`take` — the bounded collect layer hooks
+        #: this to admit deferred submissions as soon as space frees up.
+        self.on_space: Callable[[], None] | None = None
 
     # -- submission -----------------------------------------------------------
     def submit(self, wrap: PacketWrap) -> None:
@@ -65,6 +80,8 @@ class OptimizationWindow:
         self.total_submitted += 1
         if self._count > self.peak_wraps:
             self.peak_wraps = self._count
+        if self._total_bytes > self.peak_bytes:
+            self.peak_bytes = self._total_bytes
 
     def restore(self, wrap: PacketWrap) -> None:
         """Re-insert a wrap that was taken but never left the node.
@@ -76,6 +93,8 @@ class OptimizationWindow:
         self._insert(wrap)
         if self._count > self.peak_wraps:
             self.peak_wraps = self._count
+        if self._total_bytes > self.peak_bytes:
+            self.peak_bytes = self._total_bytes
 
     def _insert(self, wrap: PacketWrap) -> None:
         rail = wrap.rail
@@ -106,18 +125,53 @@ class OptimizationWindow:
             self._dest_bytes[dest] = 0
         by_dest[wid] = wrap
         self._dest_bytes[dest] += length
+        if self._gated and self._is_exempt(wrap):
+            self._dest_exempt[dest] = self._dest_exempt.get(dest, 0) + 1
+
+    # -- credit gating (flow_control="credit") ---------------------------------
+    def _is_exempt(self, wrap: PacketWrap) -> bool:
+        """Control records, rendezvous-bound wraps and NACK resends bypass
+        credit gating.  A resend must always be electable: it fills the
+        sequence hole its refusal opened, and everything behind the hole —
+        including the deliveries whose matches release credit — waits on it.
+        """
+        return (wrap.is_control or wrap.credit_exempt
+                or wrap.length > self._exempt_floor)
+
+    def block_dest(self, dest: int) -> None:
+        """Stop electing credit-gated wraps towards ``dest``."""
+        self._blocked_dests.add(dest)
+
+    def unblock_dest(self, dest: int) -> None:
+        self._blocked_dests.discard(dest)
+
+    def is_blocked(self, dest: int) -> bool:
+        return dest in self._blocked_dests
 
     # -- inspection (strategy input, paper §3.2) -------------------------------
     def eligible(self, rail: int) -> Iterator[PacketWrap]:
         """Wraps a NIC on ``rail`` may send, in submission order.
 
         Dedicated wraps for the rail come first (they can go nowhere else),
-        then the common list.
+        then the common list.  Credit-gated wraps towards a blocked
+        destination are withheld; with no destination blocked — always true
+        in the default mode — the scan adds a single set check.
         """
         if not 0 <= rail < self.n_rails:
             raise StrategyError(f"no rail {rail} in window")
-        yield from self._dedicated[rail].values()
-        yield from self._common.values()
+        blocked = self._blocked_dests
+        if not blocked:
+            yield from self._dedicated[rail].values()
+            yield from self._common.values()
+            return
+        for wrap in self._dedicated[rail].values():
+            if wrap.dest in blocked and not self._is_exempt(wrap):
+                continue
+            yield wrap
+        for wrap in self._common.values():
+            if wrap.dest in blocked and not self._is_exempt(wrap):
+                continue
+            yield wrap
 
     def eligible_for_dest(self, rail: int, dest: int) -> list[PacketWrap]:
         """Wraps towards ``dest`` a NIC on ``rail`` may send.
@@ -126,16 +180,22 @@ class OptimizationWindow:
         common, each in submission order) but computed from the
         per-destination index in O(wraps towards ``dest``) — a strategy
         synthesizing a point-to-point packet never scans the traffic queued
-        for other nodes.
+        for other nodes.  A credit-blocked destination with no exempt wraps
+        answers ``[]`` in O(1) from the exempt counter.
         """
         if not 0 <= rail < self.n_rails:
             raise StrategyError(f"no rail {rail} in window")
         by_dest = self._by_dest.get(dest)
         if not by_dest:
             return []
+        blocked = dest in self._blocked_dests
+        if blocked and not self._dest_exempt.get(dest):
+            return []
         pinned: list[PacketWrap] = []
         common: list[PacketWrap] = []
         for wrap in by_dest.values():
+            if blocked and not self._is_exempt(wrap):
+                continue
             if wrap.rail is None:
                 common.append(wrap)
             elif wrap.rail == rail:
@@ -211,6 +271,14 @@ class OptimizationWindow:
         else:
             del self._by_dest[dest]
             del self._dest_bytes[dest]
+        if self._gated and self._is_exempt(wrap):
+            left = self._dest_exempt[dest] - 1
+            if left:
+                self._dest_exempt[dest] = left
+            else:
+                del self._dest_exempt[dest]
+        if self.on_space is not None:
+            self.on_space()
 
     def drain_matching(self, pred: Callable[[PacketWrap], bool]) -> list[PacketWrap]:
         """Remove and return every wrap satisfying ``pred`` (error paths)."""

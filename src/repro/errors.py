@@ -16,6 +16,18 @@ class SimulationError(ReproError):
     """Misuse or internal inconsistency of the discrete-event kernel."""
 
 
+class ProgressStallError(SimulationError):
+    """The progress watchdog observed no forward progress for too long.
+
+    Raised (inside :meth:`~repro.sim.core.Simulator.run`) when an armed
+    :class:`~repro.sim.core.Watchdog` sees its progress token unchanged for
+    several consecutive patience intervals while the engine still has work
+    outstanding.  The message carries the owner's diagnostic dump — per-peer
+    credit, window, backlog and unexpected-buffer state — so a stall is an
+    actionable report instead of a bare deadlock hint.
+    """
+
+
 class NetworkError(ReproError):
     """Invalid network configuration or transfer-layer misuse."""
 
@@ -73,3 +85,14 @@ class DatatypeError(ReproError):
 
 class MpiError(ReproError):
     """MPI-level misuse (bad rank, truncation, invalid request state)."""
+
+
+class WindowFullError(MpiError):
+    """A send was refused because the optimization window is at capacity.
+
+    Only raised under ``EngineParams(window_policy="fail")`` when the
+    bounded collect layer cannot admit a new wrap without exceeding
+    ``max_window_wraps``/``max_window_bytes``.  Under the default
+    ``"block"`` policy the submission is instead deferred (FIFO) until the
+    window drains, so this error is never seen.
+    """

@@ -56,7 +56,16 @@ class MadMpi:
         datatype: Datatype | None = None,
         priority: int = 0,
     ) -> MpiRequest:
-        """Nonblocking send to ``dest`` (a rank in ``comm``)."""
+        """Nonblocking send to ``dest`` (a rank in ``comm``).
+
+        Overload protection (:class:`~repro.core.engine.EngineParams`)
+        surfaces here: with a bounded window and ``window_policy="block"``
+        an over-cap send is *deferred* — the request is returned as usual
+        and simply completes later (backpressure shows up as ``wait``
+        latency); with ``window_policy="fail"`` this call raises
+        :class:`~repro.errors.WindowFullError` (an :class:`MpiError`)
+        synchronously, like an MPI implementation out of request slots.
+        """
         comm = comm if comm is not None else self.world
         node = comm.node_of(dest)
         if datatype is None:

@@ -25,6 +25,8 @@ class FrameKind:
     RDV_DATA = "rdv_data"  # rendezvous bulk data (zero-copy / RDMA path)
     CTRL = "ctrl"          # other control traffic
     REL_ACK = "rel_ack"    # standalone reliability-layer acknowledgement
+    CREDIT = "credit"      # standalone flow-control credit grant
+    NACK = "nack"          # receiver refused an eager segment (overflow)
 
 
 _frame_ids = itertools.count()
@@ -46,6 +48,12 @@ class Frame:
     direction, and ``corrupted`` models a payload whose checksum will fail
     on arrival (set by a link's :class:`~repro.netsim.link.FaultPlan`).
     They stay ``None``/``False`` in the paper-faithful default mode.
+
+    ``fc_grant`` belongs to the optional flow-control layer
+    (``EngineParams.flow_control="credit"``): a piggybacked cumulative
+    ``(released_bytes_total, released_wraps_total)`` credit grant for the
+    reverse direction.  Cumulative totals make grants idempotent, so
+    duplication or retransmission by the reliability layer is harmless.
     """
 
     src_node: int
@@ -56,6 +64,7 @@ class Frame:
     payload_size: int = 0
     rel_seq: int | None = None
     rel_ack: tuple[int, tuple[int, ...]] | None = None
+    fc_grant: tuple[int, int] | None = None
     corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 

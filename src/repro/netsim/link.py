@@ -3,16 +3,18 @@
 A :class:`Link` is unidirectional (topology creates one per direction); it
 adds propagation latency and delivers frames to the destination NIC in
 transmission order.  Ordering is guaranteed because the sending NIC
-serializes transmissions and the latency is constant, and the kernel
-resolves equal timestamps in scheduling order.
+serializes transmissions and the link never lets a frame overtake an
+earlier one (delivery times are clamped monotonic, which matters when a
+``slow_link`` fault ends mid-flight), and the kernel resolves equal
+timestamps in scheduling order.
 
 The link also keeps conservation counters (frames/bytes entered vs
 delivered) that the property tests use to prove no packet is ever lost or
 duplicated by the scheduling engine above.
 
 Faults are modelled by a composable :class:`FaultPlan` (drop the nth
-frame, drop a fixed id set, drop bursts, corrupt payloads, take the link
-permanently down at a given time).  A bare callable ``frame -> bool`` is
+frame, drop a fixed id set, drop bursts, corrupt payloads, slow the link
+down over a time window, take the link permanently down at a given time).  A bare callable ``frame -> bool`` is
 still accepted wherever a plan is (the historical ``fault_injector``
 hook), returning ``True`` to drop.  The engine — like the real
 NewMadeleine, which targets reliable system-area networks (MX, Elan, SCI)
@@ -57,6 +59,11 @@ class FaultPlan:
       (the receiver discards them like a loss, but the bytes did travel);
     * ``drop_kind_nth`` — ``(kind, n)`` pairs dropping the nth frame *of
       that kind* (e.g. ``("rel_ack", 1)`` to lose the first ack);
+    * ``slow_link`` — ``(factor, from_us, until_us)`` multiplying the
+      link's propagation latency by ``factor`` for frames entering the
+      wire in ``[from_us, until_us)`` (``until_us=None`` = forever): a
+      degraded-but-alive link, the overload scenario flow control is
+      built for;
     * ``down_at_us`` — a time after which every frame is dropped (permanent
       link failure).
 
@@ -71,6 +78,7 @@ class FaultPlan:
         bursts: Sequence[tuple[int, int]] = (),
         corrupt_nth: Sequence[int] = (),
         drop_kind_nth: Sequence[tuple[str, int]] = (),
+        slow_link: tuple[float, float, float | None] | None = None,
         down_at_us: float | None = None,
     ) -> None:
         for n in tuple(drop_nth) + tuple(corrupt_nth):
@@ -82,6 +90,16 @@ class FaultPlan:
         for kind, n in drop_kind_nth:
             if n < 1:
                 raise NetworkError(f"bad drop_kind_nth ({kind!r}, {n})")
+        if slow_link is not None:
+            factor, from_us, until_us = slow_link
+            if factor < 1:
+                raise NetworkError(
+                    f"slow_link factor must be >= 1, got {factor}")
+            if from_us < 0:
+                raise NetworkError(f"negative slow_link from_us {from_us}")
+            if until_us is not None and until_us <= from_us:
+                raise NetworkError(
+                    f"empty slow_link window [{from_us}, {until_us})")
         if down_at_us is not None and down_at_us < 0:
             raise NetworkError(f"negative down_at_us {down_at_us}")
         self.drop_nth = frozenset(drop_nth)
@@ -89,6 +107,7 @@ class FaultPlan:
         self.bursts = tuple(bursts)
         self.corrupt_nth = frozenset(corrupt_nth)
         self.drop_kind_nth = frozenset(drop_kind_nth)
+        self.slow_link = slow_link
         self.down_at_us = down_at_us
         self._n = 0
         self._kind_counts: dict[str, int] = {}
@@ -111,6 +130,15 @@ class FaultPlan:
             return CORRUPT
         return DELIVER
 
+    def latency_factor(self, now: float) -> float:
+        """Latency multiplier for a frame entering the wire at ``now``."""
+        if self.slow_link is None:
+            return 1.0
+        factor, from_us, until_us = self.slow_link
+        if now < from_us or (until_us is not None and now >= until_us):
+            return 1.0
+        return factor
+
     def __call__(self, frame: Frame) -> bool:
         """Callable-shim view: ``True`` when the frame should be dropped.
 
@@ -131,6 +159,8 @@ class FaultPlan:
             parts.append(f"corrupt_nth={sorted(self.corrupt_nth)}")
         if self.drop_kind_nth:
             parts.append(f"drop_kind_nth={sorted(self.drop_kind_nth)}")
+        if self.slow_link is not None:
+            parts.append(f"slow_link={self.slow_link}")
         if self.down_at_us is not None:
             parts.append(f"down_at={self.down_at_us}us")
         return f"<FaultPlan {' '.join(parts) or 'clean'}>"
@@ -161,10 +191,15 @@ class Link:
         self.frames_delivered = 0
         self.frames_dropped = 0
         self.frames_corrupted = 0
+        self.frames_slowed = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.bytes_dropped = 0
         self.down_since: float | None = None
+        # FIFO floor: no frame may be delivered before an earlier one (a
+        # slow_link window ending mid-flight would otherwise let later
+        # frames overtake).  At constant latency the clamp never binds.
+        self._last_deliver_at = 0.0
         self.name = f"link.{src.name}->{dst.name}"
 
     # ``fault_injector`` predates FaultPlan; keep it as an alias so existing
@@ -216,9 +251,21 @@ class Link:
             frame = dataclasses.replace(frame, corrupted=True)
             self.tracer.emit(self.sim.now, self.name, "wire_corrupt",
                              frame=frame.frame_id, size=frame.wire_size)
+        latency = self.latency_us
+        if isinstance(self.fault_plan, FaultPlan):
+            factor = self.fault_plan.latency_factor(self.sim.now)
+            if factor > 1.0:
+                latency *= factor
+                self.frames_slowed += 1
+                self.tracer.emit(self.sim.now, self.name, "wire_slow",
+                                 frame=frame.frame_id, factor=factor)
+        deliver_at = self.sim.now + latency
+        if deliver_at < self._last_deliver_at:
+            deliver_at = self._last_deliver_at
+        self._last_deliver_at = deliver_at
         self.tracer.emit(self.sim.now, self.name, "wire_enter",
                          frame=frame.frame_id, size=frame.wire_size)
-        self.sim.schedule(self.latency_us, lambda: self._deliver(frame))
+        self.sim.schedule(deliver_at - self.sim.now, lambda: self._deliver(frame))
 
     def _deliver(self, frame: Frame) -> None:
         self.frames_delivered += 1

@@ -81,9 +81,14 @@ def render_fault_summary(cluster: Cluster) -> str:
     """One-line report of injected faults across the cluster's links."""
     s = cluster.fault_summary()
     conserved = cluster.conservation_ok(allow_faults=True)
+    slowed = (
+        f"{s['frames_slowed']} slowed on {s['links_slowed']} link(s), "
+        if s["frames_slowed"] else ""
+    )
     return (
         f"faults: {s['frames_dropped']} dropped "
         f"({s['bytes_dropped']}B), {s['frames_corrupted']} corrupted, "
+        f"{slowed}"
         f"{s['links_down']} link(s) down; "
         f"conservation(with faults): {'ok' if conserved else 'VIOLATED'}"
     )

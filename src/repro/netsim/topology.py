@@ -109,8 +109,10 @@ class Cluster:
         return {
             "frames_dropped": sum(l.frames_dropped for l in self.links),
             "frames_corrupted": sum(l.frames_corrupted for l in self.links),
+            "frames_slowed": sum(l.frames_slowed for l in self.links),
             "bytes_dropped": sum(l.bytes_dropped for l in self.links),
             "links_down": sum(1 for l in self.links if l.down),
+            "links_slowed": sum(1 for l in self.links if l.frames_slowed),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -9,6 +9,7 @@ from repro.sim.core import (
     Process,
     Simulator,
     Timeout,
+    Watchdog,
 )
 from repro.sim.trace import TraceRecord, Tracer
 
@@ -23,4 +24,5 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "Watchdog",
 ]

@@ -28,7 +28,7 @@ from collections.abc import Callable, Generator, Iterable
 
 from typing import Any
 
-from repro.errors import SimulationError
+from repro.errors import ProgressStallError, SimulationError
 
 __all__ = [
     "Simulator",
@@ -39,6 +39,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Interrupt",
+    "Watchdog",
 ]
 
 
@@ -317,6 +318,82 @@ class AnyOf(Condition):
             evt._defused = True
             assert evt._exc is not None
             self.fail(evt._exc)
+
+
+class Watchdog:
+    """Virtual-time progress watchdog: detects stalls *with work pending*.
+
+    A deadlock (event queue drained while a process waits) is caught by
+    :meth:`Simulator.run_process`; a *livelock* is not — the queue keeps
+    ticking (retransmission timers, delayed grants) while no useful work
+    completes.  The watchdog samples an engine-supplied ``progress`` token
+    every ``interval_us`` of simulated time; if the token is unchanged for
+    ``patience`` consecutive samples while ``active()`` reports outstanding
+    work, it raises :class:`~repro.errors.ProgressStallError` carrying the
+    ``diagnose()`` report.  The exception propagates out of
+    :meth:`Simulator.run` like any unobserved failure, so tests and the CLI
+    see the stall as a hard, diagnosable error instead of a hang.
+
+    When ``active()`` is false the watchdog goes dormant (so a finished
+    simulation can drain its queue); :meth:`arm` re-arms it and is called
+    from the engine's work-creating entry points.  ``arm`` is idempotent.
+    """
+
+    __slots__ = ("sim", "interval_us", "_progress", "_active", "_diagnose",
+                 "patience", "name", "_armed", "_last_token", "_strikes")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval_us: float,
+        progress: Callable[[], object],
+        active: Callable[[], bool],
+        diagnose: Callable[[], str],
+        patience: int = 2,
+        name: str = "watchdog",
+    ) -> None:
+        if interval_us <= 0:
+            raise SimulationError(f"watchdog interval must be > 0, got {interval_us}")
+        if patience < 1:
+            raise SimulationError(f"watchdog patience must be >= 1, got {patience}")
+        self.sim = sim
+        self.interval_us = interval_us
+        self._progress = progress
+        self._active = active
+        self._diagnose = diagnose
+        self.patience = patience
+        self.name = name
+        self._armed = False
+        self._last_token: object = None
+        self._strikes = 0
+
+    def arm(self) -> None:
+        """Start (or keep) watching; call whenever new work is created."""
+        if self._armed:
+            return
+        self._armed = True
+        self._last_token = self._progress()
+        self._strikes = 0
+        self.sim.schedule(self.interval_us, self._tick)
+
+    def _tick(self) -> None:
+        if not self._active():
+            # Nothing outstanding: go dormant until the next arm().
+            self._armed = False
+            return
+        token = self._progress()
+        if token != self._last_token:
+            self._last_token = token
+            self._strikes = 0
+        else:
+            self._strikes += 1
+            if self._strikes >= self.patience:
+                raise ProgressStallError(
+                    f"{self.name}: no progress for "
+                    f"{self._strikes * self.interval_us:g}us with work "
+                    f"pending at t={self.sim.now:g}us\n{self._diagnose()}"
+                )
+        self.sim.schedule(self.interval_us, self._tick)
 
 
 class Simulator:

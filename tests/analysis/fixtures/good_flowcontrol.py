@@ -1,0 +1,28 @@
+# nm-path: repro/core/fixture_good_flowcontrol.py
+"""Fixture: flow-control idioms the checker must accept."""
+
+
+def outstanding(state):
+    # Reading the credit totals is fine anywhere; only writes are owned.
+    return state.sent_bytes_total - state.peer_released_bytes
+
+
+def account(engine):
+    engine.stats.credit_stalls += 1  # += from a core layer is the idiom
+    engine.stats.credits_granted += 1
+
+
+def gate(window, rail, dest):
+    if window.is_blocked(dest):  # public gating surface, not the storage
+        return []
+    return window.eligible_for_dest(rail, dest)
+
+
+def is_credit(frame):
+    return frame.kind == "credit"  # registered frame kind
+
+
+class _PeerCredit:
+    def __init__(self):
+        self.sent_bytes_total = 0  # the owning class writes via self
+        self.peer_released_bytes = 0

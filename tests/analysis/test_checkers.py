@@ -72,6 +72,29 @@ def test_good_lifecycle_is_clean():
     assert report.ok, codes_of(report)
 
 
+# -- flow-control state machines (PR 4 counters/fields) -----------------------
+
+def test_bad_flowcontrol_trips_every_rule():
+    report = run_fixture("bad_flowcontrol.py")
+    codes = codes_of(report)
+    assert "NM201" in codes  # window gating storage written outside window.py
+    assert "NM203" in codes  # flow-control stats counter reset
+    assert "NM204" in codes  # stats bump inside a strategy
+    assert "NM302" in codes  # credit totals written outside flowcontrol.py
+    assert "NM303" in codes  # window gating storage read
+    # Both the Frame(kind=...) construction and the .kind comparison with a
+    # typo'd literal are caught.
+    assert codes.count("NM304") == 2
+    # Credit totals, grant state and the matcher's budget gauge all flag.
+    nm302 = [v for v in report.violations if v.code == "NM302"]
+    assert len(nm302) >= 3
+
+
+def test_good_flowcontrol_is_clean():
+    report = run_fixture("good_flowcontrol.py")
+    assert report.ok, codes_of(report)
+
+
 # -- event-loop hygiene (NM4xx) -----------------------------------------------
 
 def test_bad_blocking_trips_open_sleep_and_print():

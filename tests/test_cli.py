@@ -1,10 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import REPORT_STAT_GROUPS, build_parser, main
 
 
 def run_cli(*argv):
@@ -95,3 +96,61 @@ class TestReport:
         assert code == 0
         assert "replayed 10 messages" in text
         assert "1 link(s) down" in text
+
+    def test_stats_table_prints_every_group(self):
+        code, text = run_cli("report", "--messages", "10")
+        assert code == 0
+        for group, fields in REPORT_STAT_GROUPS:
+            assert f"[{group}]" in text
+            for field in fields:
+                assert field in text
+        assert "[matcher]" in text and "[window]" in text
+
+    def test_credit_mode_report(self):
+        code, text = run_cli("report", "--flow-control", "credit",
+                             "--messages", "20")
+        assert code == 0
+        assert "flow_control=credit" in text
+        assert "credit_stalls" in text
+
+    def test_slow_link_reports_degradation(self):
+        code, text = run_cli("report", "--slow-link", "8", "--messages", "10")
+        assert code == 0
+        assert "slowed on 1 link(s)" in text
+        assert "conservation(with faults): ok" in text
+
+    def test_json_report_is_machine_readable(self):
+        code, text = run_cli("report", "--messages", "10", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["replay"]["ok"] is True
+        assert payload["replay"]["messages"] == 10
+        assert payload["config"]["flow_control"] == "off"
+        assert payload["faults"]["conservation_ok"] is True
+        assert len(payload["engines"]) == 2
+        for eng in payload["engines"]:
+            for group, fields in REPORT_STAT_GROUPS:
+                assert set(eng[group]) == set(fields)
+            assert "matcher" in eng and "window" in eng
+
+    def test_json_report_credit_mode_counts_grants(self):
+        code, text = run_cli("report", "--flow-control", "credit",
+                             "--messages", "40", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["config"]["flow_control"] == "credit"
+        granted = sum(e["flow_control"]["credits_granted"]
+                      for e in payload["engines"])
+        assert granted > 0
+
+    def test_json_report_stall_sets_error(self):
+        code, text = run_cli("report", "--drop-nth", "1", "--messages", "5",
+                             "--json")
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["replay"]["ok"] is False
+        assert "no retransmission" in payload["replay"]["error"]
+
+    def test_bad_slow_link_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("report", "--slow-link", "0.5", "--messages", "5")

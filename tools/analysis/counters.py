@@ -35,6 +35,7 @@ WINDOW_PRIVATE = frozenset({
     "_common", "_dedicated", "_by_dest",
     "_count", "_total_bytes", "_common_bytes", "_dedicated_bytes",
     "_dest_bytes",
+    "_blocked_dests", "_dest_exempt", "_exempt_floor", "_gated",
 })
 
 #: Read-only accessor methods of the window (never data attributes).
@@ -47,6 +48,8 @@ STATS_COUNTERS = frozenset({
     "recv_copies", "recv_copy_bytes",
     "retransmits", "duplicates_suppressed", "failovers", "rails_quarantined",
     "acks_sent", "corrupt_discards", "transport_failures",
+    "credit_stalls", "window_full_events", "unexpected_overflows",
+    "credits_granted", "nacks_sent", "nack_resends",
 })
 
 WINDOW_MODULE = "repro/core/window.py"

@@ -23,6 +23,11 @@ event telling three different stories.  The rules:
   ``eligible*``/``backlog*``/``pending_bytes`` accessors, which is what
   keeps the storage layout swappable (the deque→dict rewrite of PR 2
   touched nothing outside window.py precisely because of this).
+* **NM304** — frame kinds are free-form strings by design (the NIC layer
+  never inspects them), so a typo in a kind literal silently creates a
+  frame no dispatcher matches.  Every kind used in a ``Frame(kind=...)``
+  construction or a ``.kind == "..."`` comparison must be registered in
+  :data:`FRAME_KINDS` (mirroring ``repro.netsim.frames.FrameKind``).
 """
 
 from __future__ import annotations
@@ -53,7 +58,28 @@ _WRITE_OWNERS: dict[str, frozenset[str]] = {
     "repro/core/requests.py": frozenset({
         "actual_src", "actual_tag", "actual_len",
     }),
+    # Credit-conservation totals: monotonic cumulative counters whose
+    # idempotence under duplicated grants depends on every mutation going
+    # through FlowControlLayer's consume/refund/release/_apply_grant.
+    "repro/core/flowcontrol.py": frozenset({
+        "sent_bytes_total", "sent_wraps_total",
+        "released_bytes_total", "released_wraps_total",
+        "peer_released_bytes", "peer_released_wraps",
+    }),
+    # The matcher's unexpected-byte budget gauge (refusals depend on it).
+    "repro/core/matching.py": frozenset({
+        "unexpected_bytes",
+    }),
 }
+
+#: Registered on-wire frame kinds; mirrors ``repro.netsim.frames.FrameKind``.
+#: A new protocol (like PR 1's ``rel_ack`` or this PR's flow-control
+#: ``credit``/``nack`` frames) registers its kinds here so a typo'd kind
+#: literal cannot create a frame that every dispatcher silently ignores.
+FRAME_KINDS = frozenset({
+    "data", "rdv_req", "rdv_ack", "rdv_data", "ctrl",
+    "rel_ack", "credit", "nack",
+})
 
 
 class LifecycleChecker(Checker):
@@ -62,6 +88,7 @@ class LifecycleChecker(Checker):
         "NM301": "Event kernel-private state touched outside sim/core.py",
         "NM302": "lifecycle transition field written outside its owner module",
         "NM303": "window-private storage read outside window.py",
+        "NM304": "unregistered frame-kind string literal",
     }
     scope = ("repro/",)
 
@@ -82,6 +109,35 @@ class LifecycleChecker(Checker):
                         f"read of window-private {attr!r} outside "
                         "repro/core/window.py; consume the eligible*/"
                         "backlog*/pending_bytes accessors instead")
+        self.generic_visit(node)
+
+    # -- NM304: frame-kind literals -------------------------------------------
+    def _check_kind_literal(self, node: ast.expr) -> None:
+        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+                and node.value not in FRAME_KINDS):
+            self.report(node, "NM304",
+                        f"frame kind {node.value!r} is not registered; add "
+                        "it to FrameKind and to tools/analysis/lifecycle."
+                        "FRAME_KINDS (typo'd kinds dispatch nowhere)")
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops) and any(
+            isinstance(o, ast.Attribute) and o.attr == "kind"
+            for o in operands
+        ):
+            for operand in operands:
+                self._check_kind_literal(operand)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        if name == "Frame":
+            for kw in node.keywords:
+                if kw.arg == "kind":
+                    self._check_kind_literal(kw.value)
         self.generic_visit(node)
 
     # -- NM302: writes only ----------------------------------------------------
