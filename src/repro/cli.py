@@ -82,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="off",
                         help="credit-based overload protection (default: "
                              "off, the paper's unbounded engine)")
+    report.add_argument("--sessions", choices=("off", "epoch"),
+                        default="off",
+                        help="peer failure detection and session epochs "
+                             "(default: off, the paper's crash-free engine)")
     report.add_argument("--rails", type=int, choices=(1, 2), default=1,
                         help="1 = MX only; 2 = MX + Quadrics multirail")
     report.add_argument("--messages", type=int, default=40,
@@ -193,6 +197,10 @@ REPORT_STAT_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
         "credit_stalls", "window_full_events", "unexpected_overflows",
         "credits_granted", "nacks_sent", "nack_resends",
     )),
+    ("sessions", (
+        "peers_suspected", "peers_dead", "epochs_started",
+        "stale_frames_fenced", "heartbeats_sent",
+    )),
 )
 
 
@@ -230,6 +238,7 @@ def _report_payload(args, pair, messages, stalled) -> dict:
             "rails": args.rails,
             "reliability": args.reliability,
             "flow_control": args.flow_control,
+            "sessions": args.sessions,
             "messages": args.messages,
             "seed": args.seed,
         },
@@ -273,7 +282,8 @@ def _report(args, out) -> int:
              else (MX_MYRI10G, QUADRICS_QM500))
     strategy = "aggregation" if args.rails == 1 else "multirail"
     params = EngineParams(reliability=args.reliability,
-                          flow_control=args.flow_control)
+                          flow_control=args.flow_control,
+                          sessions=args.sessions)
     pair = make_backend_pair("madmpi", rails=rails, strategy=strategy,
                              engine_params=params)
     if (args.drop_nth or args.slow_link is not None
@@ -314,7 +324,8 @@ def _report(args, out) -> int:
                      f"({rep['payload_bytes']} payload bytes) "
                      f"node0 -> node1 in {rep['elapsed_us']:.1f}us "
                      f"[reliability={args.reliability} "
-                     f"flow_control={args.flow_control}]"))
+                     f"flow_control={args.flow_control} "
+                     f"sessions={args.sessions}]"))
     for eng in payload["engines"]:
         lines = [f"-- engine stats: node{eng['node']} "
                  f"(strategy={eng['strategy']}) --"]

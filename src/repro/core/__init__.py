@@ -24,6 +24,7 @@ from repro.core.packet import (
 from repro.core.protocols import NicLike, StrategyLike, TacticLike
 from repro.core.reliability import ReliabilityLayer
 from repro.core.requests import ANY, RecvRequest, SendRequest
+from repro.core.sessions import SessionLayer
 from repro.core.strategies import (
     AdaptiveStrategy,
     AggregationStrategy,
@@ -71,6 +72,7 @@ __all__ = [
     "SegmentData",
     "SendPlan",
     "SendRequest",
+    "SessionLayer",
     "Strategy",
     "StrategyLike",
     "TacticLike",

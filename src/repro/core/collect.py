@@ -168,6 +168,31 @@ class CollectLayer:
         """Submissions waiting for window space (quiesce/diagnostics)."""
         return len(self._deferred)
 
+    # -- session-layer hooks --------------------------------------------------
+    def reset_dest(self, dest: int, exc: BaseException) -> None:
+        """Drop sequencing and deferred submissions towards a dead peer.
+
+        Restarting the per-``(dest, flow)`` counters is what lets the next
+        incarnation's streams begin at seq 0 — the matcher on the other
+        side reset symmetrically.  Deferred (never-admitted) submissions
+        fail with ``exc``; they never drew a sequence number, so no
+        tombstones are owed.
+        """
+        for key in [k for k in self._seq if k[0] == dest]:
+            del self._seq[key]
+        kept: deque[PacketWrap] = deque()
+        for wrap in self._deferred:
+            if wrap.dest != dest:
+                kept.append(wrap)
+            elif wrap.completion is not None and not wrap.completion.triggered:
+                wrap.completion.fail(exc)
+                wrap.completion.defuse()
+        self._deferred = kept
+
+    def has_deferred_to(self, dest: int) -> bool:
+        """Any deferred submission towards ``dest`` (liveness interest)?"""
+        return any(w.dest == dest for w in self._deferred)
+
     def submit_control(
         self, dest: int, item: WireItem, priority: int = CONTROL_PRIORITY
     ) -> PacketWrap:

@@ -25,10 +25,11 @@ from repro.core.packet import CancelItem, HeaderSpec, RdvReqItem, SegItem
 from repro.core.reliability import ReliabilityLayer
 from repro.core.rendezvous import RendezvousManager
 from repro.core.requests import ANY, RecvRequest, SendRequest
+from repro.core.sessions import SessionLayer
 from repro.core.strategy import Strategy, create
 from repro.core.transfer import TransferLayer
 from repro.core.window import OptimizationWindow
-from repro.errors import MpiError
+from repro.errors import MpiError, PeerDeadError, SimulationError
 from repro.netsim.node import Node
 from repro.netsim.profiles import NicProfile
 from repro.sim import Event, Tracer
@@ -120,6 +121,19 @@ class EngineParams:
     #: interval; two consecutive unchanged samples raise
     #: :class:`~repro.errors.ProgressStallError` with a per-peer dump.
     watchdog_interval_us: float = 0.0
+    #: Failure detection and session epochs (see
+    #: :mod:`repro.core.sessions`).  The paper's engine assumes every peer
+    #: stays alive, so ``"off"`` is the default and keeps every benchmark
+    #: figure bit-identical; ``"epoch"`` stamps a session header on every
+    #: frame, runs a hello/welcome handshake per peer, and confirms peers
+    #: dead after ``hb_timeout_us`` of silence.
+    sessions: str = "off"
+    #: Heartbeat/monitor period: how often a watched peer's silence is
+    #: re-examined and (when the line is otherwise idle) probed.
+    hb_interval_us: float = 50.0
+    #: Silence before a peer is confirmed dead; at half of this the peer
+    #: becomes *suspected* (counted, traced, not yet acted on).
+    hb_timeout_us: float = 500.0
 
     def __post_init__(self) -> None:
         if min(self.pull_cost_us, self.per_mtu_cost_us,
@@ -178,6 +192,19 @@ class EngineParams:
             )
         if self.watchdog_interval_us < 0:
             raise ValueError("negative watchdog interval")
+        if self.sessions not in ("off", "epoch"):
+            raise ValueError(
+                f"unknown sessions mode {self.sessions!r}; "
+                "expected off | epoch"
+            )
+        if self.hb_interval_us <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.hb_timeout_us < 2 * self.hb_interval_us:
+            raise ValueError(
+                "hb_timeout_us must be at least 2*hb_interval_us: a "
+                "timeout shorter than two monitor ticks declares a peer "
+                "dead before a single probe could round-trip"
+            )
 
     def per_mtu_cost(self, profile: NicProfile) -> float:
         """Data-path inspection cost per MTU for this driver."""
@@ -216,6 +243,12 @@ class EngineStats:
     credits_granted: int = 0       # grants advertising newly released credit
     nacks_sent: int = 0            # refused segments bounced to their sender
     nack_resends: int = 0          # bounced segments re-entered the window
+    # Session-layer counters (all zero in "off" mode).
+    peers_suspected: int = 0       # peers that crossed half the hb timeout
+    peers_dead: int = 0            # peers confirmed dead by the detector
+    epochs_started: int = 0        # sessions established (first contact too)
+    stale_frames_fenced: int = 0   # frames discarded for a stale incarnation
+    heartbeats_sent: int = 0       # idle-path probes and probe replies
 
 
 class NmadEngine:
@@ -264,9 +297,18 @@ class NmadEngine:
                                on_refuse=self._on_refuse)
         self.rendezvous = RendezvousManager(self)
         self.collect = CollectLayer(self)
+        # True once this engine's node crashed: every timer closure and
+        # idle callback of the dead incarnation checks it and goes silent.
+        self.halted = False
+        # The session layer must exist before the reliability layer (which
+        # caches it as its transmit gate) and the transfer layer (which
+        # routes the receive funnel through it in "epoch" mode).
+        self.sessions = SessionLayer(self)
         self.reliability = ReliabilityLayer(self)
         self.flowcontrol = FlowControlLayer(self)
         self.transfer = TransferLayer(self)
+        if self.params.sessions == "epoch":
+            node.add_crash_hook(self.halt)
         self.watchdog: Watchdog | None = None
         if self.params.watchdog_interval_us > 0:
             self.watchdog = Watchdog(
@@ -300,6 +342,11 @@ class NmadEngine:
     ) -> SendRequest:
         """Nonblocking send; returns a handle whose ``done`` event fires
         when the data has fully left this node."""
+        if self.sessions.is_dead(dest):
+            raise PeerDeadError(
+                f"node{self.node_id}: isend to node {dest}, a peer "
+                "confirmed dead (revoke or shrink the communicator)"
+            )
         wrap = self.collect.submit(
             dest, data, flow=flow, tag=tag, priority=priority, rail=rail,
             allow_reorder=allow_reorder, depends_on=depends_on,
@@ -315,12 +362,21 @@ class NmadEngine:
         nbytes: int | None = None,
     ) -> RecvRequest:
         """Nonblocking receive; ``nbytes`` bounds acceptable message size."""
+        if src != ANY and self.sessions.is_dead(src):
+            raise PeerDeadError(
+                f"node{self.node_id}: irecv from node {src}, a peer "
+                "confirmed dead (revoke or shrink the communicator)"
+            )
         req = RecvRequest(
             src=src, flow=flow, tag=tag, capacity=nbytes,
             done=self.sim.event(name=f"recv:{src}/{flow}/{tag}"),
             posted_at=self.sim.now,
         )
         self.matcher.post(req)
+        if src != ANY:
+            # A sourced receive is a liveness interest: watch the peer so
+            # its death fails this request instead of hanging it forever.
+            self.sessions.note_interest(src)
         self.poke_watchdog()
         return req
 
@@ -439,6 +495,49 @@ class NmadEngine:
         self.stats.unexpected_overflows += 1
         self.flowcontrol.on_local_refuse(inc)
 
+    # -- crash / drain lifecycle ---------------------------------------------
+    def halt(self) -> None:
+        """Silence this engine: its node crashed (fail-stop).
+
+        Registered as a node crash hook in ``sessions="epoch"`` mode.  A
+        dead process must not tick into its successor's incarnation, so
+        every virtual-time timer of this engine — retransmit and delayed-ack
+        timers, credit grant and NACK-resend timers, session monitors, the
+        progress watchdog — is invalidated through its generation counter.
+        No completion callbacks run: from the dead node's perspective the
+        world simply stops, exactly like a real crash.
+        """
+        if self.halted:
+            return
+        self.halted = True
+        if self.watchdog is not None:
+            self.watchdog.disarm()
+        self.sessions.halt()
+        self.reliability.halt()
+        self.flowcontrol.halt()
+        self.tracer.emit(self.sim.now, f"node{self.node_id}.engine", "halt")
+
+    def quiesce(
+        self, poll_us: float = 5.0, timeout_us: float = 1_000_000.0
+    ) -> Generator[Event, None, None]:
+        """Process-style drain: block until the engine holds no deferred
+        work (``yield from engine.quiesce()``).
+
+        The clean-teardown counterpart of crash recovery: an application
+        that learned of a peer's death (:class:`PeerDeadError`,
+        ``Comm.shrink``) drains its engine before carrying on, so no
+        half-sent aggregate or pending grant leaks into the next phase.
+        Raises :class:`~repro.errors.SimulationError` after ``timeout_us``.
+        """
+        deadline = self.sim.now + timeout_us
+        while not self.quiesced():
+            if self.sim.now >= deadline:
+                raise SimulationError(
+                    f"node{self.node_id}: quiesce() still not drained "
+                    f"after {timeout_us:g}us"
+                )
+            yield self.sim.timeout(poll_us)
+
     # -- progress watchdog ---------------------------------------------------
     def poke_watchdog(self) -> None:
         """(Re)arm the watchdog on new work; no-op when it is disabled."""
@@ -453,6 +552,10 @@ class NmadEngine:
         return (
             stats.phys_packets, stats.wire_bytes, stats.recv_copies,
             stats.credits_granted, stats.nack_resends,
+            # Session transitions are progress (a declared death *unblocks*
+            # waiters); heartbeats_sent deliberately is not — a probe loop
+            # towards a wedged peer must not mask the stall.
+            stats.peers_dead, stats.epochs_started, stats.stale_frames_fenced,
             self.matcher.delivered, self.matcher.n_posted,
             self.rendezvous.n_pending, self.rendezvous.n_granted,
         )
@@ -477,6 +580,7 @@ class NmadEngine:
             or self.matcher.n_parked > 0
             or not self.reliability.quiesced
             or self.collect.n_deferred > 0
+            or not self.sessions.quiesced
         )
 
     def _stall_report(self) -> str:
@@ -492,10 +596,13 @@ class NmadEngine:
                  f"(strategy={self.strategy.describe()})"]
         for peer in sorted(peers):
             blocked = " [credit-blocked]" if win.is_blocked(peer) else ""
+            session = ""
+            if self.sessions.active:
+                session = f"; {self.sessions.describe_peer(peer)}"
             lines.append(
                 f"  peer {peer}: window backlog={win.backlog(peer)} wraps/"
                 f"{win.backlog_bytes(peer)}B{blocked}; "
-                f"{self.flowcontrol.describe_peer(peer)}"
+                f"{self.flowcontrol.describe_peer(peer)}{session}"
             )
         lines.append(
             f"  collect: deferred={self.collect.n_deferred} submissions"
@@ -525,6 +632,7 @@ class NmadEngine:
             and self.reliability.quiesced
             and self.flowcontrol.quiesced
             and self.collect.n_deferred == 0
+            and self.sessions.quiesced
         )
 
     def _deadlock_hint(self) -> str | None:
@@ -534,6 +642,17 @@ class NmadEngine:
         can be fully quiesced while the application hangs), so the stall
         signal is an outstanding posted receive or unquiesced state.
         """
+        if self.halted:
+            # A crashed node's engine is not stuck; it is dead.  The live
+            # side's own hint (dead peers, sessions off) explains the hang.
+            return None
+        dead = self.sessions.dead_peers()
+        if dead:
+            return (
+                f"node{self.node_id}: peer(s) {dead} confirmed dead — "
+                "requests towards them failed with PeerDeadError; "
+                "revoke/shrink the communicator to move on"
+            )
         if self.stats.transport_failures:
             return (
                 f"node{self.node_id}: retry budget exhausted on "

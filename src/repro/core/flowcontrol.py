@@ -85,7 +85,7 @@ class _PeerCredit:
         # Receive half: what we released, and what we last advertised.
         "released_bytes_total", "released_wraps_total",
         "adv_bytes", "adv_wraps",
-        "grant_pending", "grant_gen",
+        "grant_pending", "grant_gen", "resend_gen",
     )
 
     def __init__(self, peer: int) -> None:
@@ -102,6 +102,7 @@ class _PeerCredit:
         self.adv_wraps = 0
         self.grant_pending = False
         self.grant_gen = 0
+        self.resend_gen = 0
 
 
 class FlowControlLayer:
@@ -331,10 +332,19 @@ class FlowControlLayer:
         self.engine.tracer.emit(self.sim.now, self._name, "nack_rx",
                                 peer=peer, seq=item.seq, delay_us=delay)
         self._pending_resends += 1
-        self.sim.schedule(delay, lambda: self._resend(peer, item))
+        gen = st.resend_gen
+        self.sim.schedule(delay, lambda: self._resend(peer, item, gen))
 
-    def _resend(self, peer: int, item: SegItem) -> None:
+    def _resend(self, peer: int, item: SegItem, gen: int) -> None:
+        if self.engine.halted:
+            return  # halt() already zeroed the pending-resend count
         self._pending_resends -= 1
+        st = self._peer(peer)
+        if gen != st.resend_gen:
+            # The peer died (or restarted) while this resend waited out its
+            # backoff: re-submitting the old-epoch segment would ghost-
+            # deliver into the peer's next incarnation.
+            return
         self.engine.stats.nack_resends += 1
         # Same (flow, tag, seq) stream position as the refused original, so
         # the receiver's in-order machinery treats the resend as *the*
@@ -350,7 +360,53 @@ class FlowControlLayer:
         self.engine.poke_watchdog()
         self.engine.transfer.kick()
 
+    # -- session-layer hooks --------------------------------------------------
+    def reset_peer(self, peer: int) -> None:
+        """Zero the credit ledger towards a dead/restarted peer.
+
+        The entry stays in place with its generation counters *bumped*
+        rather than being deleted: a recreated entry would restart its
+        generations at zero, and a NACK-resend timer armed in the peer's
+        previous life could then falsely match and resurrect an old-epoch
+        segment.  Grant and resend timers are cancelled through the bumps;
+        a credit-blocked window gate is lifted (the new incarnation starts
+        with a full budget).
+        """
+        st = self._peers.get(peer)
+        if st is None:
+            return
+        st.grant_pending = False
+        st.grant_gen += 1
+        st.resend_gen += 1
+        st.sent_bytes_total = 0
+        st.sent_wraps_total = 0
+        st.peer_released_bytes = 0
+        st.peer_released_wraps = 0
+        st.nack_streak = 0
+        st.released_bytes_total = 0
+        st.released_wraps_total = 0
+        st.adv_bytes = 0
+        st.adv_wraps = 0
+        if st.blocked:
+            st.blocked = False
+            self.engine.window.unblock_dest(peer)
+        self.engine.tracer.emit(self.sim.now, self._name, "reset_peer",
+                                peer=peer)
+
+    def halt(self) -> None:
+        """This node crashed: silence every timer, run no callbacks."""
+        for st in self._peers.values():
+            st.grant_pending = False
+            st.grant_gen += 1
+            st.resend_gen += 1
+        self._pending_resends = 0
+
     # -- introspection -------------------------------------------------------
+    @property
+    def pending_resends(self) -> int:
+        """NACK resends still waiting out their backoff delay."""
+        return self._pending_resends
+
     @property
     def quiesced(self) -> bool:
         """True when no grant or NACK resend is still scheduled."""

@@ -271,6 +271,52 @@ class Matcher:
                 kept.append((src, flow, tag, event))
         self._watchers = kept
 
+    # -- session-layer hooks --------------------------------------------------
+    def reset_peer(self, src: int) -> None:
+        """Drop all sequencing and buffered state from ``src``.
+
+        The session layer's epoch fence: the peer's next incarnation
+        restarts its sequence streams at zero, so the old expected
+        counters, parked early arrivals and unexpected descriptors must
+        vanish together — keeping any of them would either wedge the new
+        streams (stale expected counter) or ghost-deliver old-epoch data
+        into them.  Posted receives are *not* touched: see
+        :meth:`fail_src` for the confirmed-death path.
+        """
+        for key in [k for k in self._expected if k[0] == src]:
+            del self._expected[key]
+        for key in [k for k in self._parked if k[0] == src]:
+            del self._parked[key]
+        kept = []
+        for inc in self._unexpected:
+            if inc.src != src:
+                kept.append(inc)
+            elif isinstance(inc.item, SegItem):
+                self.unexpected_bytes -= inc.item.data.nbytes
+        self._unexpected = kept
+
+    def fail_src(self, src: int, exc: BaseException, now: float = 0.0) -> None:
+        """Fail every posted receive pinned to a now-dead ``src``.
+
+        Wildcard receives stay posted — another peer may still complete
+        them.  Failures are defused (like truncation): death is reported
+        through the non-raising failed/error API, wait() re-raises it.
+        """
+        kept = []
+        for req in self._posted:
+            if req.src == src:
+                req.done.fail(exc)
+                req.done.defuse()
+                self.tracer.emit(now, self.name, "fail_src",
+                                 src=src, flow=req.flow, tag=req.tag)
+            else:
+                kept.append(req)
+        self._posted = kept
+
+    def has_posted_from(self, src: int) -> bool:
+        """Any posted receive pinned to ``src`` (liveness interest)?"""
+        return any(req.src == src for req in self._posted)
+
     # -- introspection -------------------------------------------------------
     @property
     def n_posted(self) -> int:

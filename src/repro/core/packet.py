@@ -58,11 +58,12 @@ class HeaderSpec:
     rel_header: int = 12      # reliability seq + piggybacked ack record
     checksum: int = 4         # payload checksum (reliability mode only)
     credit_header: int = 8    # piggybacked credit grant (flow-control mode)
+    session_header: int = 8   # incarnation pair (session mode only)
 
     def __post_init__(self) -> None:
         for f in ("global_header", "seg_header", "rdv_req", "rdv_ack",
                   "rdv_data_header", "rel_header", "checksum",
-                  "credit_header"):
+                  "credit_header", "session_header"):
             if getattr(self, f) < 0:
                 raise ValueError(f"negative header size for {f}")
 

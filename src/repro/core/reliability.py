@@ -103,6 +103,9 @@ class ReliabilityLayer:
         self.params = engine.params
         self.nics = list(engine.node.nics)
         self.mode = engine.params.reliability
+        # The session layer gates every transmit (constructed just before
+        # this layer); in sessions="off" mode the gate is never consulted.
+        self._sessions = engine.sessions
         self._channels: dict[int, _Channel] = {}
         #: Rails the health tracker has taken out of service.
         self.quarantined: set[int] = set()
@@ -125,6 +128,11 @@ class ReliabilityLayer:
         return all(not ch.unacked and not ch.ack_pending
                    for ch in self._channels.values())
 
+    def has_outstanding(self, peer: int) -> bool:
+        """Does this layer still owe or await anything towards ``peer``?"""
+        ch = self._channels.get(peer)
+        return ch is not None and bool(ch.unacked or ch.ack_pending)
+
     def _channel(self, peer: int) -> _Channel:
         ch = self._channels.get(peer)
         if ch is None:
@@ -146,8 +154,14 @@ class ReliabilityLayer:
         ``on_delivered`` fires once: at tx completion in ``"off"`` mode
         (the classic "data left the node" semantics), at ack receipt in
         ``"ack"`` mode.  ``on_failed`` fires instead (ack mode only) when
-        the retransmit budget is exhausted.
+        the retransmit budget is exhausted — or, with ``sessions="epoch"``,
+        when the peer is confirmed dead.
         """
+        if self._sessions.active and self._sessions.defer_tx(
+                nic, frame, cpu_gap_us, on_delivered, on_failed):
+            # Buffered behind the session handshake (it will re-enter here
+            # on flush), or failed because the peer is dead.
+            return
         if self.mode == "off":
             done = nic.post_send(frame, cpu_gap_us=cpu_gap_us)
             if on_delivered is not None:
@@ -366,11 +380,46 @@ class ReliabilityLayer:
             wire_size=hdr.rel_header + hdr.checksum,
             rel_ack=self._ack_snapshot(ch),
         )
+        # Standalone acks bypass send() (they must not consume a sequence
+        # number) but still need the epoch stamp to pass the peer's fence.
+        self._sessions.stamp(frame)
         self.engine.stats.acks_sent += 1
         self.engine.tracer.emit(self.sim.now, self._name, "ack",
                                 peer=ch.peer, cum=frame.rel_ack[0],
                                 sacks=len(frame.rel_ack[1]), rail=rail)
         self.nics[rail].post_send(frame, cpu_gap_us=0.0)
+
+    # -- session-layer hooks --------------------------------------------------
+    def reset_peer(self, peer: int, exc: BaseException) -> None:
+        """Tear down the channel to a dead/restarted peer atomically.
+
+        Cancels the retransmit and delayed-ack timers through their
+        generation counters *before* dropping the send buffer — the timer
+        closures hold the channel object, so a later tick against a
+        resurrected peer must find a bumped generation, not a stale
+        deadline.  Every unacked frame's requests fail with ``exc``.
+        """
+        ch = self._channels.get(peer)
+        if ch is None:
+            return
+        ch.timer_gen += 1              # pending _on_timer becomes a no-op
+        self._cancel_delayed_ack(ch)   # pending _delayed_ack_fire likewise
+        pendings = sorted(ch.unacked.values(), key=lambda p: p.seq)
+        ch.unacked.clear()
+        del self._channels[peer]
+        self.engine.tracer.emit(self.sim.now, self._name, "reset_peer",
+                                peer=peer, dropped=len(pendings))
+        for pending in pendings:
+            if pending.on_failed is not None:
+                pending.on_failed(exc)
+
+    def halt(self) -> None:
+        """This node crashed: silence every timer, run no callbacks."""
+        for ch in self._channels.values():
+            ch.timer_gen += 1
+            ch.ack_pending = False
+            ch.ack_gen += 1
+            ch.unacked.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ReliabilityLayer {self._name} mode={self.mode} "

@@ -308,6 +308,39 @@ class RendezvousManager:
             del self._incoming[key]
             state.req.finish(state.assemble(), src=item.src, tag=state.tag)
 
+    # -- session-layer hooks --------------------------------------------------
+    def fail_peer(self, peer: int, exc: BaseException) -> None:
+        """Fail every transfer — either half — bound to a dead peer.
+
+        Announced and granted sends towards ``peer`` abort (their
+        completions fail with ``exc``); half-landed incoming transfers
+        from ``peer`` fail their receive.  A re-sent message from the
+        peer's next incarnation starts a fresh handshake with a fresh
+        handle, so partial reassembly state must never survive an epoch.
+        """
+        for handle in [h for h, s in self._pending.items()
+                       if s.wrap.dest == peer]:
+            self.abort(handle, exc)
+        for state in [s for s in self._granted if s.wrap.dest == peer]:
+            self.abort(state.handle, exc)
+        for key in [k for k in self._incoming if k[0] == peer]:
+            state = self._incoming.pop(key)
+            if not state.req.done.triggered:
+                state.req.done.fail(exc)
+                state.req.done.defuse()
+            self.engine.tracer.emit(self.engine.sim.now,
+                                    f"node{self.engine.node_id}.rendezvous",
+                                    "fail_incoming", handle=state.handle,
+                                    src=peer, received=state.received)
+
+    def involves_peer(self, peer: int) -> bool:
+        """Any live transfer with ``peer`` (liveness interest)?"""
+        return (
+            any(s.wrap.dest == peer for s in self._pending.values())
+            or any(s.wrap.dest == peer for s in self._granted)
+            or any(k[0] == peer for k in self._incoming)
+        )
+
     # -- introspection -------------------------------------------------------
     @property
     def n_pending(self) -> int:

@@ -74,16 +74,20 @@ class TransferLayer:
         # Paper §3.2's second/third dispatch policies: at most one packet is
         # pre-synthesized while every NIC is busy, waiting to be re-fed.
         self._anticipated: tuple[SendPlan, list] | None = None
+        # Every arrival funnels through the session layer first in "epoch"
+        # mode (epoch fencing, handshake/heartbeat absorption), then the
+        # reliability layer (checksum verification, ack processing,
+        # duplicate suppression), then the flow-control layer (grant
+        # application, credit/nack handling); with every mode "off" that
+        # is a straight pass-through to demux_frame.  The front of the
+        # funnel is chosen once, here, so the default hot path never even
+        # reads the session mode.
+        rx_front = (engine.sessions.on_frame if engine.sessions.active
+                    else engine.reliability.on_frame)
         for nic in self.nics:
             nic.add_idle_callback(self._on_idle)
-            # Every arrival funnels through the reliability layer first
-            # (checksum verification, ack processing, duplicate suppression),
-            # then the flow-control layer (grant application, credit/nack
-            # handling); with both modes "off" that is a straight
-            # pass-through to demux_frame.
             nic.set_receive_handler(
-                lambda frame, rail=nic.rail:
-                    self.engine.reliability.on_frame(rail, frame)
+                lambda frame, rail=nic.rail: rx_front(rail, frame)
             )
 
     @property
@@ -123,6 +127,35 @@ class TransferLayer:
                                 items=len(items))
         return True
 
+    def discard_anticipated_for(self, dest: int) -> bool:
+        """Dissolve the anticipated packet if it targets ``dest``.
+
+        The session layer's peer-teardown path: the prepared packet's wraps
+        go back into the window (where the teardown's drain then collects
+        and fails them) and their credit is refunded (the ledger is zeroed
+        right after) — the same unwind as :meth:`uncommit_anticipated`,
+        keyed by destination instead of by wrap.
+        """
+        if self._anticipated is None:
+            return False
+        plan, items = self._anticipated
+        if plan.dest != dest:
+            return False
+        self._anticipated = None
+        for item in items:
+            if isinstance(item, RdvReqItem):
+                self.engine.rendezvous.retract(item.handle)
+        for w in plan.taken + plan.announced:
+            self.engine.window.restore(w)
+        if self._fc_active:
+            for w in plan.taken:
+                if not w.is_control and not w.credit_exempt:
+                    self.engine.flowcontrol.refund(dest, w.length)
+        self.engine.tracer.emit(self.engine.sim.now,
+                                f"node{self.engine.node_id}.transfer",
+                                "unanticipate", dest=dest, items=len(items))
+        return True
+
     # -- refill machinery -----------------------------------------------------
     def _rail_ok(self, rail: int) -> bool:
         """May work still be scheduled on this rail (not quarantined)?"""
@@ -130,6 +163,8 @@ class TransferLayer:
 
     def kick(self) -> None:
         """New work exists: schedule a pull on every currently idle NIC."""
+        if self.engine.halted:
+            return
         any_idle = False
         schedule = self.engine.sim.schedule
         for nic in self.nics:
@@ -205,6 +240,8 @@ class TransferLayer:
 
     def _pull(self, rail: int) -> None:
         self._pull_pending[rail] = False
+        if self.engine.halted:
+            return  # a pull scheduled just before the crash landed
         nic = self.nics[rail]
         if not nic.idle or not self._rail_ok(rail):
             return
@@ -383,6 +420,8 @@ class TransferLayer:
             )
 
     def _dispatch_item(self, item: WireItem) -> None:
+        if self.engine.halted:
+            return  # demuxed just before the crash; the item dies with us
         now = self.engine.sim.now
         if isinstance(item, SegItem):
             self.engine.matcher.deliver(

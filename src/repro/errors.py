@@ -58,6 +58,19 @@ class TransportError(ReproError):
     """
 
 
+class PeerDeadError(TransportError):
+    """A request failed because its peer was declared dead (or restarted).
+
+    Only raised by the optional session layer
+    (``EngineParams.sessions="epoch"``): when the heartbeat failure
+    detector confirms a peer dead, or an epoch change reveals the peer
+    restarted, every request bound to the old incarnation fails with this
+    error — in-flight sends, deferred submissions and posted receives
+    alike — while traffic to other peers keeps progressing.  Never raised
+    in the default ``sessions="off"`` (paper-faithful) mode.
+    """
+
+
 class RailDownError(TransportError):
     """Delivery failed because the rail it depended on is down.
 
@@ -85,6 +98,19 @@ class DatatypeError(ReproError):
 
 class MpiError(ReproError):
     """MPI-level misuse (bad rank, truncation, invalid request state)."""
+
+
+class CommRevokedError(MpiError):
+    """An operation was attempted on a revoked communicator.
+
+    After :meth:`~repro.madmpi.comm.Communicator.revoke` marks a
+    communicator dead (typically in response to a
+    :class:`PeerDeadError` from one of its members), any further
+    ``isend``/``irecv``/collective on it raises this error immediately —
+    the ULFM-style fail-fast that lets survivors agree to
+    :meth:`~repro.madmpi.comm.Communicator.shrink` instead of
+    deadlocking inside a collective.
+    """
 
 
 class WindowFullError(MpiError):

@@ -20,7 +20,7 @@ from collections.abc import Sequence
 from repro.core.data import SegmentData, VirtualData, as_data
 from repro.core.engine import NmadEngine
 from repro.core.requests import ANY
-from repro.errors import MpiError
+from repro.errors import CommRevokedError, MpiError
 from repro.madmpi.comm import Communicator
 from repro.madmpi.datatype import Datatype
 from repro.madmpi.request import MpiRequest
@@ -46,6 +46,20 @@ class MadMpi:
     def sim(self):
         return self.engine.sim
 
+    def _live_comm(self, comm: Communicator | None) -> Communicator:
+        """Resolve the default communicator and fence revoked ones.
+
+        The ULFM-style fail-fast surface: after :meth:`Communicator.revoke`
+        every new operation raises instead of blocking on a dead peer.
+        """
+        comm = comm if comm is not None else self.world
+        if comm.revoked:
+            raise CommRevokedError(
+                f"rank {self.rank}: communicator {comm.id} was revoked "
+                "after a peer failure; shrink() it to continue"
+            )
+        return comm
+
     # -- point-to-point ---------------------------------------------------
     def isend(
         self,
@@ -66,7 +80,7 @@ class MadMpi:
         :class:`~repro.errors.WindowFullError` (an :class:`MpiError`)
         synchronously, like an MPI implementation out of request slots.
         """
-        comm = comm if comm is not None else self.world
+        comm = self._live_comm(comm)
         node = comm.node_of(dest)
         if datatype is None:
             wrap_req = self.engine.isend(node, data, tag=tag, flow=comm.id,
@@ -94,7 +108,7 @@ class MadMpi:
         datatype: Datatype | None = None,
     ) -> MpiRequest:
         """Nonblocking receive from ``source`` (a rank in ``comm`` or ANY)."""
-        comm = comm if comm is not None else self.world
+        comm = self._live_comm(comm)
         src_node = ANY if source == ANY else comm.node_of(source)
         if datatype is None:
             sub = self.engine.irecv(src=src_node, tag=tag, flow=comm.id,
@@ -153,7 +167,7 @@ class MadMpi:
 
         Like MPI_Iprobe, never consumes the message.
         """
-        comm = comm if comm is not None else self.world
+        comm = self._live_comm(comm)
         src_node = ANY if source == ANY else comm.node_of(source)
         inc = self.engine.matcher.peek(src_node, comm.id, tag)
         if inc is None:
@@ -163,7 +177,7 @@ class MadMpi:
     def probe(self, source: int = ANY, tag: int = ANY,
               comm: Communicator | None = None):
         """Blocking probe (process style): waits for a matching message."""
-        comm = comm if comm is not None else self.world
+        comm = self._live_comm(comm)
         src_node = ANY if source == ANY else comm.node_of(source)
         event = self.sim.event(name=f"probe:{source}/{tag}")
         self.engine.matcher.watch(src_node, comm.id, tag, event)

@@ -27,6 +27,9 @@ class FrameKind:
     REL_ACK = "rel_ack"    # standalone reliability-layer acknowledgement
     CREDIT = "credit"      # standalone flow-control credit grant
     NACK = "nack"          # receiver refused an eager segment (overflow)
+    SESSION_HELLO = "session_hello"      # session handshake: open/announce
+    SESSION_WELCOME = "session_welcome"  # session handshake: accept/confirm
+    HEARTBEAT = "heartbeat"              # idle-path liveness probe/reply
 
 
 _frame_ids = itertools.count()
@@ -54,6 +57,15 @@ class Frame:
     ``(released_bytes_total, released_wraps_total)`` credit grant for the
     reverse direction.  Cumulative totals make grants idempotent, so
     duplication or retransmission by the reliability layer is harmless.
+
+    ``session`` belongs to the optional session layer
+    (``EngineParams.sessions="epoch"``): a
+    ``(sender_incarnation, receiver_incarnation)`` pair where the second
+    element is the *sender's view* of the receiver's incarnation (``-1``
+    when unknown, which is only legal on session handshake frames).  The
+    receiver fences any frame whose view of it is stale — that is how no
+    duplicate or ghost delivery crosses a crash/restart boundary.  Stays
+    ``None`` in the paper-faithful default mode.
     """
 
     src_node: int
@@ -65,6 +77,7 @@ class Frame:
     rel_seq: int | None = None
     rel_ack: tuple[int, tuple[int, ...]] | None = None
     fc_grant: tuple[int, int] | None = None
+    session: tuple[int, int] | None = None
     corrupted: bool = False
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
 

@@ -65,7 +65,12 @@ class FaultPlan:
       degraded-but-alive link, the overload scenario flow control is
       built for;
     * ``down_at_us`` — a time after which every frame is dropped (permanent
-      link failure).
+      link failure);
+    * ``node_crash_at`` / ``node_restart_at`` — virtual times at which a
+      whole *node* fail-stops and (optionally) comes back as a new
+      incarnation.  These are node-level faults, not link-level ones:
+      ``decide`` ignores them; apply the plan through
+      :meth:`~repro.netsim.topology.Cluster.schedule_node_fault`.
 
     Plans keep per-instance arrival counters, so do not share one instance
     across links.  Drop decisions win over corruption when both match.
@@ -80,6 +85,8 @@ class FaultPlan:
         drop_kind_nth: Sequence[tuple[str, int]] = (),
         slow_link: tuple[float, float, float | None] | None = None,
         down_at_us: float | None = None,
+        node_crash_at: float | None = None,
+        node_restart_at: float | None = None,
     ) -> None:
         for n in tuple(drop_nth) + tuple(corrupt_nth):
             if n < 1:
@@ -102,6 +109,17 @@ class FaultPlan:
                     f"empty slow_link window [{from_us}, {until_us})")
         if down_at_us is not None and down_at_us < 0:
             raise NetworkError(f"negative down_at_us {down_at_us}")
+        if node_crash_at is not None and node_crash_at < 0:
+            raise NetworkError(f"negative node_crash_at {node_crash_at}")
+        if node_restart_at is not None:
+            if node_crash_at is None:
+                raise NetworkError(
+                    "node_restart_at without node_crash_at (nothing to "
+                    "restart from)")
+            if node_restart_at <= node_crash_at:
+                raise NetworkError(
+                    f"node_restart_at ({node_restart_at}) must be after "
+                    f"node_crash_at ({node_crash_at})")
         self.drop_nth = frozenset(drop_nth)
         self.drop_frame_ids = frozenset(drop_frame_ids)
         self.bursts = tuple(bursts)
@@ -109,6 +127,8 @@ class FaultPlan:
         self.drop_kind_nth = frozenset(drop_kind_nth)
         self.slow_link = slow_link
         self.down_at_us = down_at_us
+        self.node_crash_at = node_crash_at
+        self.node_restart_at = node_restart_at
         self._n = 0
         self._kind_counts: dict[str, int] = {}
 
@@ -163,6 +183,10 @@ class FaultPlan:
             parts.append(f"slow_link={self.slow_link}")
         if self.down_at_us is not None:
             parts.append(f"down_at={self.down_at_us}us")
+        if self.node_crash_at is not None:
+            parts.append(f"node_crash_at={self.node_crash_at}us")
+        if self.node_restart_at is not None:
+            parts.append(f"node_restart_at={self.node_restart_at}us")
         return f"<FaultPlan {' '.join(parts) or 'clean'}>"
 
 

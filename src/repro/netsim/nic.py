@@ -62,11 +62,19 @@ class Nic:
         self._transmitting = False
         self._rx_handler: Callable[[Frame], None] | None = None
         self._idle_callbacks: list[Callable[[Nic], None]] = []
+        # Crash/restart lifecycle: a generation counter invalidates the
+        # tx/rx completion closures already in the event queue when the
+        # card loses power, so a frame half-serialized at crash time never
+        # reaches the wire and a frame half-received never reaches a
+        # handler from the previous incarnation.
+        self.up = True
+        self._gen = 0
         # Statistics (exercised by tests and utilization benches).
         self.frames_sent = 0
         self.frames_received = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.frames_lost = 0
         self.busy_time = 0.0
         self._tx_started_at = 0.0
 
@@ -103,7 +111,7 @@ class Nic:
     @property
     def idle(self) -> bool:
         """True when the card is neither transmitting nor has queued frames."""
-        return not self._transmitting and not self._queue
+        return self.up and not self._transmitting and not self._queue
 
     @property
     def queued(self) -> int:
@@ -132,6 +140,12 @@ class Nic:
         if cpu_gap_us < 0:
             raise NetworkError(f"negative cpu gap {cpu_gap_us}")
         done = self.sim.event(name=f"txdone:{frame.frame_id}")
+        if not self.up:
+            # A send racing the crash is benign: the frame is lost and the
+            # completion event never fires, exactly as if the power died
+            # one microsecond later.
+            self.frames_lost += 1
+            return done
         self._queue.append((frame, cpu_gap_us, done))
         if not self._transmitting:
             self._start_next(first_of_burst=True)
@@ -154,9 +168,12 @@ class Nic:
         self.tracer.emit(self.sim.now, self.name, "tx_start",
                          frame=frame.frame_id, fkind=frame.kind,
                          size=frame.wire_size, tx_time=round(tx_time, 4))
-        self.sim.schedule(tx_time, lambda: self._finish_tx(frame, done))
+        gen = self._gen
+        self.sim.schedule(tx_time, lambda: self._finish_tx(frame, done, gen))
 
-    def _finish_tx(self, frame: Frame, done: Event) -> None:
+    def _finish_tx(self, frame: Frame, done: Event, gen: int) -> None:
+        if gen != self._gen:
+            return  # card crashed mid-serialization; frame never hit the wire
         self.frames_sent += 1
         self.bytes_sent += frame.wire_size
         self.busy_time += self.sim.now - self._tx_started_at
@@ -176,16 +193,49 @@ class Nic:
             # and may themselves post sends re-entrantly.
             self.sim.schedule(0.0, lambda fn=fn: fn(self) if self.idle else None)
 
+    # -- crash / restart --------------------------------------------------------
+    def crash(self) -> None:
+        """Lose power: drop queued and in-flight frames, detach the host.
+
+        Frames already accepted by ``post_send`` (queued or on the card)
+        are lost — their completion events never fire, which is exactly
+        the ambiguity real senders face.  The receive handler and idle
+        callbacks are detached so a restarted node's *new* engine can
+        install its own without the old engine's closures lingering.
+        """
+        self.frames_lost += len(self._queue) + (1 if self._transmitting else 0)
+        self._queue.clear()
+        self._transmitting = False
+        self._rx_handler = None
+        self._idle_callbacks.clear()
+        self.up = False
+        self._gen += 1
+        self.tracer.emit(self.sim.now, self.name, "crash")
+
+    def restart(self) -> None:
+        """Power the card back up (handlers must be re-installed)."""
+        self.up = True
+        self._gen += 1
+        self.tracer.emit(self.sim.now, self.name, "restart")
+
     # -- reception -------------------------------------------------------------
     def _arrive(self, frame: Frame) -> None:
+        if not self.up:
+            # Arrivals at a dead card vanish silently (counted, so the
+            # cluster fault summary can still account for every byte).
+            self.frames_lost += 1
+            return
         self.tracer.emit(self.sim.now, self.name, "rx_start",
                          frame=frame.frame_id, fkind=frame.kind,
                          size=frame.wire_size)
+        gen = self._gen
         self.sim.schedule(
-            self.profile.recv_overhead_us, lambda: self._handle(frame)
+            self.profile.recv_overhead_us, lambda: self._handle(frame, gen)
         )
 
-    def _handle(self, frame: Frame) -> None:
+    def _handle(self, frame: Frame, gen: int) -> None:
+        if gen != self._gen:
+            return  # card crashed between arrival and handler dispatch
         self.frames_received += 1
         self.bytes_received += frame.wire_size
         self.tracer.emit(self.sim.now, self.name, "rx_done", frame=frame.frame_id)

@@ -7,6 +7,8 @@ time and reach every rail from one handle.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.errors import NetworkError
 from repro.netsim.memory import MemoryModel
 from repro.netsim.nic import Nic
@@ -31,6 +33,12 @@ class Node:
         self.tracer = tracer if tracer is not None else Tracer()
         self.nics: list[Nic] = []
         self.name = f"node{node_id}"
+        # Crash/restart lifecycle.  ``incarnation`` counts restarts: the
+        # session layer stamps it on every frame so peers can fence traffic
+        # from a previous life of this node.
+        self.up = True
+        self.incarnation = 0
+        self._crash_hooks: list[Callable[[], None]] = []
         # Host memory copies serialize on the CPU: concurrent protocol-level
         # copy requests queue behind each other (see serialize_copy).
         self._copy_free_at = 0.0
@@ -62,6 +70,45 @@ class Node:
                 f"{self.name}: expected rail {len(self.nics)}, got {nic.rail}"
             )
         self.nics.append(nic)
+
+    # -- crash / restart --------------------------------------------------------
+    def add_crash_hook(self, fn: Callable[[], None]) -> None:
+        """Register ``fn()`` to run (once) when this node crashes.
+
+        The engine registers its :meth:`~repro.core.engine.NmadEngine.halt`
+        here so a crash silences the dead process's timers and watchdog.
+        Hooks are consumed by :meth:`crash` — a restarted node's new engine
+        must register its own.
+        """
+        self._crash_hooks.append(fn)
+
+    def crash(self) -> None:
+        """Fail-stop this host: run crash hooks, then power down every NIC."""
+        if not self.up:
+            raise NetworkError(f"{self.name}: crash() on a node already down")
+        self.up = False
+        hooks, self._crash_hooks = self._crash_hooks, []
+        for fn in hooks:
+            fn()
+        for nic in self.nics:
+            nic.crash()
+        self._copy_free_at = 0.0
+        self.tracer.emit(self.sim.now, self.name, "crash")
+
+    def restart(self) -> None:
+        """Bring the host back up as a fresh incarnation.
+
+        NIC handlers were detached at crash time; whoever restarts the node
+        (typically by constructing a new engine on it) re-installs them.
+        """
+        if self.up:
+            raise NetworkError(f"{self.name}: restart() on a node already up")
+        self.up = True
+        self.incarnation += 1
+        for nic in self.nics:
+            nic.restart()
+        self.tracer.emit(self.sim.now, self.name, "restart",
+                         incarnation=self.incarnation)
 
     def nic(self, rail: int = 0) -> Nic:
         """The NIC on ``rail`` (rail 0 is the default network)."""

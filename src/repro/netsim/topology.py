@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.errors import NetworkError
-from repro.netsim.link import Link
+from repro.netsim.link import FaultPlan, Link
 from repro.netsim.nic import Nic
 from repro.netsim.node import Node
 from repro.netsim.profiles import HOST_2006_OPTERON, HostProfile, NicProfile
@@ -73,6 +73,26 @@ class Cluster:
             )
         return self.nodes[node_id]
 
+    def schedule_node_fault(self, node_id: int, plan: FaultPlan) -> None:
+        """Schedule ``plan``'s node crash (and optional restart) on a node.
+
+        Node faults live on :class:`~repro.netsim.link.FaultPlan` next to
+        the link faults so one plan describes a whole chaos scenario, but
+        they are applied here — a crash takes down every NIC of the node,
+        not one wire.  The restart only powers the NICs back up; whoever
+        owns the node (a test, the CLI) constructs a fresh engine on it to
+        re-install receive handlers for the new incarnation.
+        """
+        if plan.node_crash_at is None:
+            raise NetworkError(
+                f"{plan!r} has no node_crash_at; nothing to schedule")
+        node = self.node(node_id)
+        self.sim.schedule(max(0.0, plan.node_crash_at - self.sim.now),
+                          node.crash)
+        if plan.node_restart_at is not None:
+            self.sim.schedule(max(0.0, plan.node_restart_at - self.sim.now),
+                              node.restart)
+
     def rail_index(self, tech_or_name: str) -> int:
         """Find a rail by profile name or technology string."""
         for idx, profile in enumerate(self.rails):
@@ -113,6 +133,10 @@ class Cluster:
             "bytes_dropped": sum(l.bytes_dropped for l in self.links),
             "links_down": sum(1 for l in self.links if l.down),
             "links_slowed": sum(1 for l in self.links if l.frames_slowed),
+            "nodes_down": sum(1 for n in self.nodes if not n.up),
+            "nic_frames_lost": sum(
+                nic.frames_lost for n in self.nodes for nic in n.nics
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -337,10 +337,14 @@ class Watchdog:
     When ``active()`` is false the watchdog goes dormant (so a finished
     simulation can drain its queue); :meth:`arm` re-arms it and is called
     from the engine's work-creating entry points.  ``arm`` is idempotent.
+    :meth:`disarm` kills the watchdog immediately — including the tick
+    already sitting in the event queue — which the engine uses when its
+    node crashes (a dead process must not diagnose the survivors).
     """
 
     __slots__ = ("sim", "interval_us", "_progress", "_active", "_diagnose",
-                 "patience", "name", "_armed", "_last_token", "_strikes")
+                 "patience", "name", "_armed", "_last_token", "_strikes",
+                 "_gen")
 
     def __init__(
         self,
@@ -366,17 +370,27 @@ class Watchdog:
         self._armed = False
         self._last_token: object = None
         self._strikes = 0
+        self._gen = 0
 
     def arm(self) -> None:
         """Start (or keep) watching; call whenever new work is created."""
         if self._armed:
             return
         self._armed = True
+        self._gen += 1
         self._last_token = self._progress()
         self._strikes = 0
-        self.sim.schedule(self.interval_us, self._tick)
+        gen = self._gen
+        self.sim.schedule(self.interval_us, lambda: self._tick(gen))
 
-    def _tick(self) -> None:
+    def disarm(self) -> None:
+        """Stop watching now; the pending tick (if any) becomes a no-op."""
+        self._armed = False
+        self._gen += 1
+
+    def _tick(self, gen: int) -> None:
+        if gen != self._gen or not self._armed:
+            return  # disarmed (or re-armed) since this tick was scheduled
         if not self._active():
             # Nothing outstanding: go dormant until the next arm().
             self._armed = False
@@ -393,7 +407,7 @@ class Watchdog:
                     f"{self._strikes * self.interval_us:g}us with work "
                     f"pending at t={self.sim.now:g}us\n{self._diagnose()}"
                 )
-        self.sim.schedule(self.interval_us, self._tick)
+        self.sim.schedule(self.interval_us, lambda: self._tick(gen))
 
 
 class Simulator:

@@ -1,0 +1,24 @@
+# nm-path: repro/core/strategies/fixture_bad_sessions.py
+"""Fixture: session-state violations the checker must catch."""
+
+
+def poke_session(state):
+    state.sess_state = "established"  # NM302 (owned by sessions.py)
+    state.peer_incarnation = 3  # NM302 (the epoch fence depends on it)
+    state.last_heard_us = 0.0  # NM302 (liveness clock is owned)
+
+
+def reset_stats(engine):
+    engine.stats.stale_frames_fenced = 0  # NM203 (counters are monotonic)
+
+
+def bump_from_strategy(engine):
+    engine.stats.heartbeats_sent += 1  # NM204 (strategies stay side-effect free)
+
+
+def make_typo_frame(Frame, peer):
+    return Frame(src_node=0, dst_node=peer, kind="sesion_hello", wire_size=8)  # NM304
+
+
+def is_heartbeat(frame):
+    return frame.kind == "heart_beat"  # NM304 (unregistered kind literal)

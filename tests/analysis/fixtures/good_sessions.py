@@ -1,0 +1,28 @@
+# nm-path: repro/core/fixture_good_sessions.py
+"""Fixture: session-layer idioms the checker must accept."""
+
+
+def silence(state, now):
+    # Reading the session clocks and state is fine anywhere.
+    return now - state.last_heard_us if state.sess_state != "dead" else None
+
+
+def account(engine):
+    engine.stats.heartbeats_sent += 1  # += from a core layer is the idiom
+    engine.stats.stale_frames_fenced += 1
+
+
+def is_handshake(frame):
+    return frame.kind in ("session_hello", "session_welcome")
+
+
+def is_heartbeat(frame):
+    return frame.kind == "heartbeat"  # registered frame kind
+
+
+class _PeerSession:
+    def __init__(self, now):
+        self.sess_state = "unknown"  # the owning class writes via self
+        self.peer_incarnation = -1
+        self.last_heard_us = now
+        self.last_tx_us = now

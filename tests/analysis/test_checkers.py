@@ -95,6 +95,27 @@ def test_good_flowcontrol_is_clean():
     assert report.ok, codes_of(report)
 
 
+# -- session state machines (PR 5 counters/fields) ----------------------------
+
+def test_bad_sessions_trips_every_rule():
+    report = run_fixture("bad_sessions.py")
+    codes = codes_of(report)
+    assert "NM203" in codes  # session stats counter reset
+    assert "NM204" in codes  # stats bump inside a strategy
+    assert "NM302" in codes  # session state written outside sessions.py
+    # Both the Frame(kind=...) construction and the .kind comparison with a
+    # typo'd literal are caught.
+    assert codes.count("NM304") == 2
+    # Handshake state, the incarnation fence and the liveness clock all flag.
+    nm302 = [v for v in report.violations if v.code == "NM302"]
+    assert len(nm302) >= 3
+
+
+def test_good_sessions_is_clean():
+    report = run_fixture("good_sessions.py")
+    assert report.ok, codes_of(report)
+
+
 # -- event-loop hygiene (NM4xx) -----------------------------------------------
 
 def test_bad_blocking_trips_open_sleep_and_print():

@@ -50,6 +50,8 @@ STATS_COUNTERS = frozenset({
     "acks_sent", "corrupt_discards", "transport_failures",
     "credit_stalls", "window_full_events", "unexpected_overflows",
     "credits_granted", "nacks_sent", "nack_resends",
+    "peers_suspected", "peers_dead", "epochs_started",
+    "stale_frames_fenced", "heartbeats_sent",
 })
 
 WINDOW_MODULE = "repro/core/window.py"

@@ -70,6 +70,13 @@ _WRITE_OWNERS: dict[str, frozenset[str]] = {
     "repro/core/matching.py": frozenset({
         "unexpected_bytes",
     }),
+    # Per-peer session state: the epoch fence is only sound while the
+    # handshake state machine and liveness clocks advance exclusively
+    # through SessionLayer (_establish/_declare_dead/_note_liveness) —
+    # a stray write to peer_incarnation would let stale frames through.
+    "repro/core/sessions.py": frozenset({
+        "sess_state", "peer_incarnation", "last_heard_us", "last_tx_us",
+    }),
 }
 
 #: Registered on-wire frame kinds; mirrors ``repro.netsim.frames.FrameKind``.
@@ -79,6 +86,7 @@ _WRITE_OWNERS: dict[str, frozenset[str]] = {
 FRAME_KINDS = frozenset({
     "data", "rdv_req", "rdv_ack", "rdv_data", "ctrl",
     "rel_ack", "credit", "nack",
+    "session_hello", "session_welcome", "heartbeat",
 })
 
 
