@@ -1,0 +1,271 @@
+"""Seeded chaos schedules: a seed expands into a concrete fault list.
+
+A schedule is a flat list of :class:`ChaosFault` records, each naming one
+fault the runner installs before traffic starts — a link-level fault on a
+directed ``src -> dst`` wire (drop/burst/corrupt/slow/dup/reorder/jitter),
+a cluster-level partition between node groups, or a node crash/restart.
+Keeping the schedule a plain value (instead of pre-built
+:class:`~repro.netsim.link.FaultPlan` objects) is what makes the shrinker
+possible: the greedy minimizer re-runs arbitrary sublists of the same
+schedule, and the repro snippet prints the surviving records verbatim.
+
+Generation is a pure function of ``(seed, spec)`` via one
+``random.Random(seed)`` stream, so a seed reported by a CI sweep replays
+bit-identically anywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from random import Random
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["FAULT_KINDS", "ChaosFault", "ChaosSpec", "generate_schedule"]
+
+#: Every fault kind a schedule may contain.  ``crash`` only appears when
+#: :attr:`ChaosSpec.crashes` is set (restart-aware drivers only).
+FAULT_KINDS = ("drop", "burst", "corrupt", "slow", "dup", "reorder",
+               "jitter", "partition", "crash")
+
+#: Relative pick weights for link faults (partition/crash are rationed
+#: separately: at most a couple per schedule, or recovery never settles).
+_LINK_KINDS = ("drop", "burst", "corrupt", "slow", "dup", "reorder",
+               "jitter")
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One injected fault.  Which fields matter depends on ``kind``:
+
+    ========= =========================================================
+    kind      meaning of the populated fields
+    ========= =========================================================
+    drop      link ``src->dst`` drops arrival ``nth``
+    burst     link drops ``length`` arrivals starting at ``nth``
+    corrupt   link corrupts arrival ``nth`` (delivered, checksum fails)
+    slow      link latency x ``factor`` over ``[from_us, until_us)``
+    dup       link delivers arrival ``nth`` twice
+    reorder   link holds arrival ``nth`` back ``delay_us`` past successors
+    jitter    link adds seeded noise in ``[0, max_us)`` (seed ``rng_seed``)
+    partition ``groups`` cannot talk over ``[from_us, until_us)``
+              (``one_way``: only lower-indexed -> higher-indexed drops)
+    crash     node ``src`` fail-stops at ``from_us``, restarts ``until_us``
+    ========= =========================================================
+    """
+
+    kind: str
+    src: int = -1
+    dst: int = -1
+    nth: int = 0
+    length: int = 0
+    delay_us: float = 0.0
+    factor: float = 1.0
+    max_us: float = 0.0
+    rng_seed: int = 0
+    from_us: float = 0.0
+    until_us: float = 0.0
+    groups: tuple[tuple[int, ...], ...] = ()
+    one_way: bool = False
+
+    def describe(self) -> str:
+        """One compact human-readable line for reports and snippets."""
+        if self.kind == "drop":
+            return f"drop#{self.nth} {self.src}->{self.dst}"
+        if self.kind == "burst":
+            return (f"burst#{self.nth}+{self.length} "
+                    f"{self.src}->{self.dst}")
+        if self.kind == "corrupt":
+            return f"corrupt#{self.nth} {self.src}->{self.dst}"
+        if self.kind == "slow":
+            return (f"slow x{self.factor:g} {self.src}->{self.dst} "
+                    f"[{self.from_us:g},{self.until_us:g})us")
+        if self.kind == "dup":
+            return f"dup#{self.nth} {self.src}->{self.dst}"
+        if self.kind == "reorder":
+            return (f"reorder#{self.nth}+{self.delay_us:g}us "
+                    f"{self.src}->{self.dst}")
+        if self.kind == "jitter":
+            return (f"jitter<{self.max_us:g}us(seed={self.rng_seed}) "
+                    f"{self.src}->{self.dst}")
+        if self.kind == "partition":
+            arrow = "-/>" if self.one_way else "<-/->"
+            sides = arrow.join("".join(map(str, g)) for g in self.groups)
+            return f"partition {sides} [{self.from_us:g},{self.until_us:g})us"
+        if self.kind == "crash":
+            return (f"crash node{self.src} at {self.from_us:g}us, "
+                    f"restart {self.until_us:g}us")
+        return f"{self.kind}?"
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """The record as plain JSON types, defaults omitted."""
+        out: dict[str, Any] = {"kind": self.kind}
+        defaults = ChaosFault(kind=self.kind)
+        for field in dataclasses.fields(self):
+            if field.name == "kind":
+                continue
+            value = getattr(self, field.name)
+            if value != getattr(defaults, field.name):
+                out[field.name] = (
+                    [list(g) for g in value]
+                    if field.name == "groups" else value)
+        return out
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Everything a chaos run is parameterized by, besides the seed.
+
+    The engine configuration is fixed to the full hardening stack
+    (``reliability="ack"``, ``flow_control="credit"``,
+    ``sessions="epoch"``); the spec only tunes workload size, fault
+    density and the detector clocks.  Fault windows are derived from
+    ``hb_timeout_us``: without ``crashes``, partitions stay short enough
+    (< 0.7 x timeout) that every suspicion must heal — a teardown in that
+    regime is an engine bug, and the auditor treats it as one.
+    """
+
+    n_nodes: int = 2
+    n_messages: int = 16
+    msg_min_bytes: int = 64
+    msg_max_bytes: int = 4096
+    send_gap_us: float = 25.0
+    min_faults: int = 2
+    max_faults: int = 8
+    crashes: bool = False
+    deadline_us: float = 60_000.0
+    settle_us: float = 5_000.0
+    hb_interval_us: float = 50.0
+    hb_timeout_us: float = 600.0
+    rel_timeout_us: float = 100.0
+    rel_retry_budget: int = 64
+    max_resends: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ReproError(f"chaos needs >= 2 nodes, got {self.n_nodes}")
+        if self.n_messages < 1:
+            raise ReproError("chaos needs at least one message")
+        if not 0 <= self.min_faults <= self.max_faults:
+            raise ReproError(
+                f"bad fault range [{self.min_faults}, {self.max_faults}]")
+        if self.msg_min_bytes < 1 or self.msg_max_bytes < self.msg_min_bytes:
+            raise ReproError(
+                f"bad message size range [{self.msg_min_bytes}, "
+                f"{self.msg_max_bytes}]")
+
+    @classmethod
+    def quick(cls, crashes: bool = False) -> ChaosSpec:
+        """The CI sweep profile: smaller workload, same fault variety."""
+        return cls(n_messages=8, msg_max_bytes=2048, max_faults=6,
+                   deadline_us=30_000.0, crashes=crashes)
+
+
+def _directed_pair(rng: Random, n_nodes: int) -> tuple[int, int]:
+    """A directed node pair, biased towards the 0->1 data path (and its
+    1->0 ack path) that carries the workload."""
+    if n_nodes == 2 or rng.random() < 0.7:
+        return (0, 1) if rng.random() < 0.6 else (1, 0)
+    src = rng.randrange(n_nodes)
+    dst = rng.randrange(n_nodes - 1)
+    if dst >= src:
+        dst += 1
+    return src, dst
+
+
+def _split_groups(rng: Random, n_nodes: int) -> tuple[tuple[int, ...], ...]:
+    """A deterministic 2-way split with nodes 0 and 1 on opposite sides
+    (so the partition always crosses the workload's path)."""
+    side_a, side_b = [0], [1]
+    for node in range(2, n_nodes):
+        (side_a if rng.random() < 0.5 else side_b).append(node)
+    return tuple(side_a), tuple(side_b)
+
+
+def generate_schedule(seed: int, spec: ChaosSpec) -> list[ChaosFault]:
+    """Expand ``seed`` into a concrete fault list under ``spec``.
+
+    Deterministic: one ``Random(seed)`` stream drives every choice, and
+    nothing else is consulted.  The active traffic window is estimated
+    from the workload shape so faults land where frames actually fly.
+    """
+    rng = Random(seed)
+    # Rough window during which the wire is busy: the send ramp plus the
+    # tail of retransmits/heals that trail the last injection.
+    active_us = (spec.n_messages * spec.send_gap_us
+                 + 4.0 * spec.hb_timeout_us)
+    # Arrivals on the busy link comfortably exceed the message count
+    # (packing, acks, credits); aim fault indices at the real stream.
+    est_arrivals = max(4, spec.n_messages * 2)
+
+    faults: list[ChaosFault] = []
+    n_faults = rng.randint(spec.min_faults, spec.max_faults)
+    n_partitions = 0
+    n_crashes = 0
+    for _ in range(n_faults):
+        roll = rng.random()
+        if roll < 0.18 and n_partitions < 2:
+            n_partitions += 1
+            start = rng.uniform(0.0, active_us * 0.5)
+            # Healable by construction: suspicion needs timeout/2 of
+            # silence, death a full timeout — 0.2..0.7 spans both sides
+            # of suspicion while staying clear of the teardown cliff.
+            duration = rng.uniform(0.2, 0.7) * spec.hb_timeout_us
+            faults.append(ChaosFault(
+                kind="partition",
+                groups=_split_groups(rng, spec.n_nodes),
+                from_us=round(start, 3),
+                until_us=round(start + duration, 3),
+                one_way=rng.random() < 0.3,
+            ))
+            continue
+        if spec.crashes and roll < 0.28 and n_crashes < 1:
+            n_crashes += 1
+            crash_at = rng.uniform(5.0, active_us * 0.4)
+            restart_gap = rng.uniform(1.5, 3.0) * spec.hb_timeout_us
+            faults.append(ChaosFault(
+                kind="crash",
+                src=rng.randrange(spec.n_nodes),
+                from_us=round(crash_at, 3),
+                until_us=round(crash_at + restart_gap, 3),
+            ))
+            continue
+        kind = rng.choice(_LINK_KINDS)
+        src, dst = _directed_pair(rng, spec.n_nodes)
+        if kind == "drop":
+            faults.append(ChaosFault(
+                kind="drop", src=src, dst=dst,
+                nth=rng.randint(1, est_arrivals)))
+        elif kind == "burst":
+            faults.append(ChaosFault(
+                kind="burst", src=src, dst=dst,
+                nth=rng.randint(1, est_arrivals),
+                length=rng.randint(2, 4)))
+        elif kind == "corrupt":
+            faults.append(ChaosFault(
+                kind="corrupt", src=src, dst=dst,
+                nth=rng.randint(1, est_arrivals)))
+        elif kind == "slow":
+            start = rng.uniform(0.0, active_us * 0.6)
+            faults.append(ChaosFault(
+                kind="slow", src=src, dst=dst,
+                factor=round(rng.uniform(2.0, 8.0), 2),
+                from_us=round(start, 3),
+                until_us=round(start + rng.uniform(50.0, 400.0), 3)))
+        elif kind == "dup":
+            faults.append(ChaosFault(
+                kind="dup", src=src, dst=dst,
+                nth=rng.randint(1, est_arrivals)))
+        elif kind == "reorder":
+            faults.append(ChaosFault(
+                kind="reorder", src=src, dst=dst,
+                nth=rng.randint(1, est_arrivals),
+                delay_us=round(rng.uniform(5.0, 150.0), 3)))
+        else:  # jitter
+            faults.append(ChaosFault(
+                kind="jitter", src=src, dst=dst,
+                max_us=round(rng.uniform(0.5, 15.0), 3),
+                rng_seed=rng.randrange(1 << 30)))
+    return faults

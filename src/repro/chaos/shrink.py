@@ -1,0 +1,131 @@
+"""Greedy schedule shrinker: the smallest fault list that still fails.
+
+A failing chaos seed usually injects several faults, most of them
+irrelevant to the bug.  The shrinker removes one fault at a time and
+re-runs the (deterministic) schedule; a removal sticks whenever the
+audit still reports every finding code the original run produced.  The
+loop repeats until no single removal preserves the failure — a local
+minimum, like delta debugging's ddmin with chunk size 1, which is enough
+in practice because schedules are short (``max_faults`` is single-digit).
+
+The result carries a standalone repro snippet: a few lines of Python
+that rebuild the minimized fault list verbatim and re-run the audit, so
+a CI-reported failure can be replayed in a REPL without the sweep
+harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.chaos.runner import run_schedule
+from repro.chaos.schedule import ChaosFault, ChaosSpec, generate_schedule
+
+__all__ = ["ShrinkResult", "shrink_schedule"]
+
+
+def _fault_source(fault: ChaosFault) -> str:
+    """A ``ChaosFault(...)`` constructor call, non-default fields only."""
+    parts = [f"kind={fault.kind!r}"]
+    defaults = ChaosFault(kind=fault.kind)
+    for field in dataclasses.fields(fault):
+        if field.name == "kind":
+            continue
+        value = getattr(fault, field.name)
+        if value != getattr(defaults, field.name):
+            parts.append(f"{field.name}={value!r}")
+    return f"ChaosFault({', '.join(parts)})"
+
+
+def _spec_source(spec: ChaosSpec) -> str:
+    """A ``ChaosSpec(...)`` constructor call, non-default fields only."""
+    defaults = ChaosSpec()
+    parts = [f"{field.name}={getattr(spec, field.name)!r}"
+             for field in dataclasses.fields(spec)
+             if getattr(spec, field.name) != getattr(defaults, field.name)]
+    return f"ChaosSpec({', '.join(parts)})"
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of minimizing one failing schedule."""
+
+    seed: int
+    spec: ChaosSpec
+    original: list[ChaosFault]
+    minimized: list[ChaosFault]
+    codes: tuple[str, ...]
+    runs: int
+
+    @property
+    def failed(self) -> bool:
+        """True when the original schedule produced findings at all."""
+        return bool(self.codes)
+
+    def snippet(self) -> str:
+        """Standalone Python that replays the minimized failure."""
+        lines = [
+            "from repro.chaos import ChaosFault, ChaosSpec, audit_run, "
+            "run_schedule",
+            "",
+            f"SEED = {self.seed}",
+            f"SPEC = {_spec_source(self.spec)}",
+            "FAULTS = [",
+        ]
+        lines.extend(f"    {_fault_source(fault)},"
+                     for fault in self.minimized)
+        lines.extend([
+            "]",
+            "",
+            "world = run_schedule(SEED, SPEC, FAULTS)",
+            "for finding in audit_run(world):",
+            "    print(f\"[{finding.code}] {finding.detail}\")",
+        ])
+        return "\n".join(lines)
+
+
+def shrink_schedule(
+    seed: int,
+    spec: ChaosSpec,
+    faults: list[ChaosFault] | None = None,
+    max_runs: int = 64,
+) -> ShrinkResult:
+    """Minimize ``faults`` (default: the seed's generated schedule) while
+    preserving every audit finding code of the full run.
+
+    ``max_runs`` bounds the total number of simulations (the first one
+    establishes the target codes); each run is the same deterministic
+    ``run_schedule``, so shrinking is reproducible too.
+    """
+    from repro.chaos.audit import audit_run
+
+    original = list(faults) if faults is not None \
+        else generate_schedule(seed, spec)
+
+    def finding_codes(candidate: list[ChaosFault]) -> set[str]:
+        world = run_schedule(seed, spec, candidate)
+        return {finding.code for finding in audit_run(world)}
+
+    target = finding_codes(original)
+    runs = 1
+    if not target:
+        return ShrinkResult(seed=seed, spec=spec, original=original,
+                            minimized=[], codes=(), runs=runs)
+
+    current = list(original)
+    shrunk = True
+    while shrunk and runs < max_runs:
+        shrunk = False
+        index = 0
+        while index < len(current) and runs < max_runs:
+            candidate = current[:index] + current[index + 1:]
+            runs += 1
+            if target <= finding_codes(candidate):
+                current = candidate
+                shrunk = True
+            else:
+                index += 1
+    return ShrinkResult(seed=seed, spec=spec, original=original,
+                        minimized=current, codes=tuple(sorted(target)),
+                        runs=runs)

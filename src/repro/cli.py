@@ -107,6 +107,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--json", action="store_true",
                         help="emit the full report as a JSON object instead "
                              "of text tables")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault schedules through the hardened engine and "
+             "audit the survivors' invariants")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="first (or only) schedule seed (default: 0)")
+    chaos.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="sweep N consecutive seeds starting at --seed")
+    chaos.add_argument("--quick", action="store_true",
+                       help="smaller workload per seed (the CI profile)")
+    chaos.add_argument("--crashes", action="store_true",
+                       help="allow crash/restart faults in the schedules")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="minimize each failing schedule and print a "
+                            "standalone repro snippet")
+    chaos.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the full sweep report as JSON")
     return parser
 
 
@@ -200,6 +218,11 @@ REPORT_STAT_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("sessions", (
         "peers_suspected", "peers_dead", "epochs_started",
         "stale_frames_fenced", "heartbeats_sent",
+    )),
+    # Chaos / partition-tolerance counters: parking while suspected and
+    # recoveries that healed without a teardown.
+    ("partition", (
+        "peers_recovered", "frames_parked",
     )),
 )
 
@@ -349,6 +372,48 @@ def _report(args, out) -> int:
     return 0
 
 
+def _chaos(args, out) -> int:
+    import json
+
+    # Imported lazily, like the other subcommands: the chaos package pulls
+    # in the whole engine stack, which `repro figures` does not need.
+    from repro.chaos import ChaosSpec, run_chaos, shrink_schedule
+
+    if args.seeds < 1:
+        raise SystemExit("--seeds must be >= 1")
+    spec = (ChaosSpec.quick(crashes=args.crashes) if args.quick
+            else ChaosSpec(crashes=args.crashes))
+
+    reports = []
+    failing = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        report = run_chaos(seed, spec)
+        reports.append(report)
+        _print(out, report.describe())
+        if not report.ok:
+            failing += 1
+            if args.shrink:
+                result = shrink_schedule(seed, spec, list(report.faults))
+                _print(out, f"  shrunk {len(result.original)} -> "
+                            f"{len(result.minimized)} fault(s) in "
+                            f"{result.runs} run(s); repro snippet:")
+                for line in result.snippet().splitlines():
+                    _print(out, "    " + line)
+
+    total = len(reports)
+    _print(out, f"chaos sweep: {total - failing}/{total} seed(s) clean")
+    if args.json is not None:
+        payload = {
+            "ok": failing == 0,
+            "seeds": [report.to_jsonable() for report in reports],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        _print(out, f"wrote {args.json}")
+    return 0 if failing == 0 else 1
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -360,6 +425,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         _profiles(out)
     elif args.command == "report":
         return _report(args, out)
+    elif args.command == "chaos":
+        return _chaos(args, out)
     elif args.command == "perf":
         from repro.bench.perf import render_perf, run_suite, write_bench
 

@@ -249,6 +249,9 @@ class EngineStats:
     epochs_started: int = 0        # sessions established (first contact too)
     stale_frames_fenced: int = 0   # frames discarded for a stale incarnation
     heartbeats_sent: int = 0       # idle-path probes and probe replies
+    # Partition-tolerance counters (all zero in "off" mode).
+    peers_recovered: int = 0       # suspects that resumed contact (no teardown)
+    frames_parked: int = 0         # outbound frames held while a peer was suspect
 
 
 class NmadEngine:
@@ -556,6 +559,9 @@ class NmadEngine:
             # waiters); heartbeats_sent deliberately is not — a probe loop
             # towards a wedged peer must not mask the stall.
             stats.peers_dead, stats.epochs_started, stats.stale_frames_fenced,
+            # Parking and recovery are progress too: a healing partition
+            # must not read as a stall while parked traffic drains.
+            stats.peers_recovered, stats.frames_parked,
             self.matcher.delivered, self.matcher.n_posted,
             self.rendezvous.n_pending, self.rendezvous.n_granted,
         )

@@ -26,6 +26,15 @@ process failure:
   liveness, like the reliability layer's piggybacked acks — and run on
   virtual-time timers: after ``hb_timeout_us/2`` of silence a peer is
   *suspected*, after ``hb_timeout_us`` it is *confirmed dead*;
+* a suspected peer is **not** a dead peer: new outbound frames towards a
+  suspect are *parked* in the same per-peer FIFO the handshake uses
+  (``frames_parked``) while heartbeats keep probing.  When contact
+  resumes within the same incarnation the peer is unsuspected and the
+  parked traffic flushes in submission order — no epoch bump, no
+  teardown (``peers_recovered``).  This is what makes a transient
+  network partition shorter than ``hb_timeout_us`` invisible to the
+  application: requests just take longer.  Only confirmed death (or a
+  new incarnation) runs the teardown;
 * death and epoch change share one **atomic teardown**: deferred frames,
   window backlog, reliability windows and their retransmit/ack timers,
   credit ledgers and their grant/resend timers, rendezvous transfers and
@@ -157,6 +166,20 @@ class SessionLayer:
         """
         st = self._peer(frame.dst_node)
         if st.sess_state == "established":
+            if st.suspect:
+                # Graceful degradation: the peer may be on the far side of
+                # a transient partition.  Park the frame (FIFO, same queue
+                # as the handshake) instead of racing it into a black hole;
+                # heartbeats keep probing and a heal flushes it in order.
+                st.deferred_tx.append((nic, frame, cpu_gap_us,
+                                       on_delivered, on_failed))
+                self.engine.stats.frames_parked += 1
+                self.engine.tracer.emit(self.sim.now, self._name, "park_tx",
+                                        peer=st.peer, frame=frame.frame_id,
+                                        parked=len(st.deferred_tx))
+                self._arm_monitor(st)
+                self.engine.poke_watchdog()
+                return True
             self.stamp(frame)
             self._arm_monitor(st)
             return False
@@ -278,9 +301,16 @@ class SessionLayer:
     def _note_liveness(self, st: _PeerSession) -> None:
         st.last_heard_us = self.sim.now
         if st.suspect:
+            # Contact resumed within the same incarnation: the suspicion
+            # was transient.  No epoch bump, no teardown — just release
+            # whatever parking accumulated, in submission order.
             st.suspect = False
+            self.engine.stats.peers_recovered += 1
             self.engine.tracer.emit(self.sim.now, self._name, "unsuspect",
-                                    peer=st.peer)
+                                    peer=st.peer,
+                                    parked=len(st.deferred_tx))
+            if st.sess_state == "established":
+                self._flush(st)
 
     # -- session establishment / epoch change --------------------------------
     def _establish(self, st: _PeerSession, s_inc: int) -> None:
@@ -407,6 +437,13 @@ class SessionLayer:
         if not self._needs_monitor(st.peer):
             # No business with the peer: go dormant so an idle engine's
             # event queue drains (the next send or post re-arms us).
+            # Suspicion lapses with the liveness interest — leaving it set
+            # would greet the next (possibly much later) send to a healthy
+            # peer with a stale park instead of a fresh observation.
+            if st.suspect:
+                st.suspect = False
+                self.engine.tracer.emit(self.sim.now, self._name,
+                                        "suspect_dropped", peer=st.peer)
             st.mon_armed = False
             return
         now = self.sim.now
@@ -442,6 +479,16 @@ class SessionLayer:
     def is_dead(self, peer: int) -> bool:
         st = self._peers.get(peer)
         return st is not None and st.sess_state == "dead"
+
+    def is_suspect(self, peer: int) -> bool:
+        """True while the failure detector suspects (but has not yet
+        condemned) the peer; outbound traffic is parked meanwhile."""
+        st = self._peers.get(peer)
+        return st is not None and st.suspect
+
+    def suspect_peers(self) -> list[int]:
+        """Currently-suspected peers, in deterministic order."""
+        return sorted(p for p, st in self._peers.items() if st.suspect)
 
     def dead_peers(self) -> list[int]:
         """Peers confirmed dead, in deterministic order."""

@@ -14,9 +14,11 @@ duplicated by the scheduling engine above.
 
 Faults are modelled by a composable :class:`FaultPlan` (drop the nth
 frame, drop a fixed id set, drop bursts, corrupt payloads, slow the link
-down over a time window, take the link permanently down at a given time).  A bare callable ``frame -> bool`` is
-still accepted wherever a plan is (the historical ``fault_injector``
-hook), returning ``True`` to drop.  The engine — like the real
+down over a time window, take the link permanently down at a given time,
+deliver an arrival twice, hold an arrival back past its successors,
+seeded latency jitter, and timed partition windows).  A bare callable
+``frame -> bool`` is still accepted wherever a plan is (the historical
+``fault_injector`` hook), returning ``True`` to drop.  The engine — like the real
 NewMadeleine, which targets reliable system-area networks (MX, Elan, SCI)
 — performs **no retransmission** by default; fault injection exists so
 tests can prove that a loss surfaces as a visible failure (stuck requests,
@@ -30,6 +32,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Callable, Sequence
+from random import Random
 
 from typing import TYPE_CHECKING
 
@@ -44,6 +47,11 @@ __all__ = ["FaultPlan", "Link"]
 
 #: Outcomes a fault decision may produce.
 DELIVER, DROP, CORRUPT = "deliver", "drop", "corrupt"
+#: Partition drops are ordinary drops wearing a name tag: the link counts
+#: them separately so ``fault_summary()`` can tell a lossy wire from a
+#: severed one.
+DROP_PARTITION = "drop_partition"
+DUPLICATE = "duplicate"
 
 
 class FaultPlan:
@@ -66,14 +74,28 @@ class FaultPlan:
       built for;
     * ``down_at_us`` — a time after which every frame is dropped (permanent
       link failure);
+    * ``dup_nth`` — 1-based arrival indices delivered *twice* (the wire
+      echoes the frame; both copies arrive back to back);
+    * ``reorder`` — ``(nth, delay_us)`` pairs holding the nth arrival back
+      ``delay_us`` past its normal delivery time while letting later
+      frames overtake it (the one fault that deliberately bypasses the
+      link's FIFO floor);
+    * ``jitter`` — ``(max_us, seed)`` adding seeded uniform latency noise
+      in ``[0, max_us)`` per delivered frame.  Jitter respects the FIFO
+      floor, so it spreads deliveries without reordering them;
+    * ``partitions`` — ``(from_us, until_us)`` windows during which every
+      frame is dropped (``until_us=None`` = forever), counted separately
+      from plain drops.  :meth:`~repro.netsim.topology.Cluster.partition`
+      installs these across group boundaries;
     * ``node_crash_at`` / ``node_restart_at`` — virtual times at which a
       whole *node* fail-stops and (optionally) comes back as a new
       incarnation.  These are node-level faults, not link-level ones:
       ``decide`` ignores them; apply the plan through
       :meth:`~repro.netsim.topology.Cluster.schedule_node_fault`.
 
-    Plans keep per-instance arrival counters, so do not share one instance
-    across links.  Drop decisions win over corruption when both match.
+    Plans keep per-instance arrival counters (and a per-instance jitter
+    RNG), so do not share one instance across links.  Drop decisions win
+    over duplication, which wins over corruption, when several match.
     """
 
     def __init__(
@@ -85,10 +107,14 @@ class FaultPlan:
         drop_kind_nth: Sequence[tuple[str, int]] = (),
         slow_link: tuple[float, float, float | None] | None = None,
         down_at_us: float | None = None,
+        dup_nth: Sequence[int] = (),
+        reorder: Sequence[tuple[int, float]] = (),
+        jitter: tuple[float, int] | None = None,
+        partitions: Sequence[tuple[float, float | None]] = (),
         node_crash_at: float | None = None,
         node_restart_at: float | None = None,
     ) -> None:
-        for n in tuple(drop_nth) + tuple(corrupt_nth):
+        for n in tuple(drop_nth) + tuple(corrupt_nth) + tuple(dup_nth):
             if n < 1:
                 raise NetworkError(f"fault indices are 1-based, got {n}")
         for first, length in bursts:
@@ -109,6 +135,27 @@ class FaultPlan:
                     f"empty slow_link window [{from_us}, {until_us})")
         if down_at_us is not None and down_at_us < 0:
             raise NetworkError(f"negative down_at_us {down_at_us}")
+        reorder_map: dict[int, float] = {}
+        for n, delay_us in reorder:
+            if n < 1:
+                raise NetworkError(f"fault indices are 1-based, got {n}")
+            if delay_us <= 0:
+                raise NetworkError(
+                    f"reorder delay must be positive, got {delay_us}")
+            if n in reorder_map:
+                raise NetworkError(f"duplicate reorder index {n}")
+            reorder_map[n] = delay_us
+        if jitter is not None:
+            max_us, _seed = jitter
+            if max_us <= 0:
+                raise NetworkError(
+                    f"jitter max_us must be positive, got {max_us}")
+        for from_us, until_us in partitions:
+            if from_us < 0:
+                raise NetworkError(f"negative partition from_us {from_us}")
+            if until_us is not None and until_us <= from_us:
+                raise NetworkError(
+                    f"empty partition window [{from_us}, {until_us})")
         if node_crash_at is not None and node_crash_at < 0:
             raise NetworkError(f"negative node_crash_at {node_crash_at}")
         if node_restart_at is not None:
@@ -127,28 +174,65 @@ class FaultPlan:
         self.drop_kind_nth = frozenset(drop_kind_nth)
         self.slow_link = slow_link
         self.down_at_us = down_at_us
+        self.dup_nth = frozenset(dup_nth)
+        self.reorder = reorder_map
+        self.jitter = jitter
+        self._jitter_rng: Random | None = (
+            Random(jitter[1]) if jitter is not None else None)
+        self.partitions: list[tuple[float, float | None]] = list(partitions)
         self.node_crash_at = node_crash_at
         self.node_restart_at = node_restart_at
         self._n = 0
         self._kind_counts: dict[str, int] = {}
 
+    def add_partition(self, from_us: float, until_us: float | None) -> None:
+        """Append a partition window (``Cluster.partition`` composes here)."""
+        if from_us < 0:
+            raise NetworkError(f"negative partition from_us {from_us}")
+        if until_us is not None and until_us <= from_us:
+            raise NetworkError(
+                f"empty partition window [{from_us}, {until_us})")
+        self.partitions.append((from_us, until_us))
+
     def decide(self, frame: Frame, now: float) -> str:
-        """Classify the next arrival: deliver, drop, or corrupt."""
+        """Classify the next arrival: deliver, drop, duplicate, or corrupt."""
         self._n += 1
         n = self._n
         kind_n = self._kind_counts.get(frame.kind, 0) + 1
         self._kind_counts[frame.kind] = kind_n
         if self.down_at_us is not None and now >= self.down_at_us:
             return DROP
+        if any(from_us <= now and (until_us is None or now < until_us)
+               for from_us, until_us in self.partitions):
+            return DROP_PARTITION
         if n in self.drop_nth or frame.frame_id in self.drop_frame_ids:
             return DROP
         if any(first <= n < first + length for first, length in self.bursts):
             return DROP
         if (frame.kind, kind_n) in self.drop_kind_nth:
             return DROP
+        if n in self.dup_nth:
+            return DUPLICATE
         if n in self.corrupt_nth:
             return CORRUPT
         return DELIVER
+
+    def extra_latency(self, now: float) -> tuple[float, bool]:
+        """``(extra_us, overtake_ok)`` for the arrival ``decide`` just saw.
+
+        ``extra_us`` combines jitter noise and any ``reorder`` hold-back;
+        ``overtake_ok`` is True only for a reordered frame, telling the
+        link to leave its FIFO floor alone so successors can pass it.
+        """
+        extra = 0.0
+        overtake = False
+        if self._jitter_rng is not None and self.jitter is not None:
+            extra += self._jitter_rng.uniform(0.0, self.jitter[0])
+        delay_us = self.reorder.get(self._n)
+        if delay_us is not None:
+            extra += delay_us
+            overtake = True
+        return extra, overtake
 
     def latency_factor(self, now: float) -> float:
         """Latency multiplier for a frame entering the wire at ``now``."""
@@ -163,9 +247,10 @@ class FaultPlan:
         """Callable-shim view: ``True`` when the frame should be dropped.
 
         Lets a plan be used anywhere a bare injector callable is expected;
-        corruption degrades to delivery through this narrower interface.
+        corruption and duplication degrade to delivery through this
+        narrower interface.
         """
-        return self.decide(frame, now=0.0) == DROP
+        return self.decide(frame, now=0.0) in (DROP, DROP_PARTITION)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = []
@@ -183,6 +268,14 @@ class FaultPlan:
             parts.append(f"slow_link={self.slow_link}")
         if self.down_at_us is not None:
             parts.append(f"down_at={self.down_at_us}us")
+        if self.dup_nth:
+            parts.append(f"dup_nth={sorted(self.dup_nth)}")
+        if self.reorder:
+            parts.append(f"reorder={sorted(self.reorder.items())}")
+        if self.jitter is not None:
+            parts.append(f"jitter={self.jitter}")
+        if self.partitions:
+            parts.append(f"partitions={self.partitions}")
         if self.node_crash_at is not None:
             parts.append(f"node_crash_at={self.node_crash_at}us")
         if self.node_restart_at is not None:
@@ -216,9 +309,14 @@ class Link:
         self.frames_dropped = 0
         self.frames_corrupted = 0
         self.frames_slowed = 0
+        self.frames_duplicated = 0
+        self.frames_reordered = 0
+        self.frames_jittered = 0
+        self.frames_partition_dropped = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.bytes_dropped = 0
+        self.bytes_duplicated = 0
         self.down_since: float | None = None
         # FIFO floor: no frame may be delivered before an earlier one (a
         # slow_link window ending mid-flight would otherwise let later
@@ -255,9 +353,11 @@ class Link:
         self.frames_sent += 1
         self.bytes_sent += frame.wire_size
         action = self._fault_action(frame)
-        if action == DROP:
+        if action in (DROP, DROP_PARTITION):
             self.frames_dropped += 1
             self.bytes_dropped += frame.wire_size
+            if action == DROP_PARTITION:
+                self.frames_partition_dropped += 1
             if (isinstance(self.fault_plan, FaultPlan)
                     and self.fault_plan.down_at_us is not None
                     and self.sim.now >= self.fault_plan.down_at_us):
@@ -265,7 +365,8 @@ class Link:
                     self.down_since = self.sim.now
                     self.tracer.emit(self.sim.now, self.name, "link_down")
             self.tracer.emit(self.sim.now, self.name, "wire_drop",
-                             frame=frame.frame_id, size=frame.wire_size)
+                             frame=frame.frame_id, size=frame.wire_size,
+                             partition=action == DROP_PARTITION)
             return
         if action == CORRUPT:
             # The bytes travel (conservation holds) but the payload checksum
@@ -276,6 +377,8 @@ class Link:
             self.tracer.emit(self.sim.now, self.name, "wire_corrupt",
                              frame=frame.frame_id, size=frame.wire_size)
         latency = self.latency_us
+        extra_us = 0.0
+        overtake = False
         if isinstance(self.fault_plan, FaultPlan):
             factor = self.fault_plan.latency_factor(self.sim.now)
             if factor > 1.0:
@@ -283,13 +386,35 @@ class Link:
                 self.frames_slowed += 1
                 self.tracer.emit(self.sim.now, self.name, "wire_slow",
                                  frame=frame.frame_id, factor=factor)
-        deliver_at = self.sim.now + latency
-        if deliver_at < self._last_deliver_at:
-            deliver_at = self._last_deliver_at
-        self._last_deliver_at = deliver_at
+            extra_us, overtake = self.fault_plan.extra_latency(self.sim.now)
+        deliver_at = self.sim.now + latency + extra_us
+        if overtake:
+            # A reordered frame is held back without raising the FIFO floor:
+            # successors keep their normal delivery times and overtake it.
+            self.frames_reordered += 1
+            floor = max(self._last_deliver_at, self.sim.now + latency)
+            self._last_deliver_at = floor
+            self.tracer.emit(self.sim.now, self.name, "wire_reorder",
+                             frame=frame.frame_id, delay_us=extra_us)
+        else:
+            if extra_us > 0.0:
+                self.frames_jittered += 1
+            if deliver_at < self._last_deliver_at:
+                deliver_at = self._last_deliver_at
+            self._last_deliver_at = deliver_at
         self.tracer.emit(self.sim.now, self.name, "wire_enter",
                          frame=frame.frame_id, size=frame.wire_size)
         self.sim.schedule(deliver_at - self.sim.now, lambda: self._deliver(frame))
+        if action == DUPLICATE:
+            # The wire echoes the frame: a second, independent delivery of
+            # the same bytes right behind the first (FIFO tie-break keeps
+            # the original in front).
+            self.frames_duplicated += 1
+            self.bytes_duplicated += frame.wire_size
+            self.tracer.emit(self.sim.now, self.name, "wire_dup",
+                             frame=frame.frame_id, size=frame.wire_size)
+            self.sim.schedule(deliver_at - self.sim.now,
+                              lambda: self._deliver(frame))
 
     def _deliver(self, frame: Frame) -> None:
         self.frames_delivered += 1

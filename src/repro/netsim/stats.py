@@ -85,10 +85,23 @@ def render_fault_summary(cluster: Cluster) -> str:
         f"{s['frames_slowed']} slowed on {s['links_slowed']} link(s), "
         if s["frames_slowed"] else ""
     )
+    duplicated = (
+        f"{s['frames_duplicated']} duplicated, "
+        if s["frames_duplicated"] else ""
+    )
+    reordered = (
+        f"{s['frames_reordered']} reordered, "
+        if s["frames_reordered"] else ""
+    )
+    partitioned = (
+        f"{s['frames_partition_dropped']} partition-dropped on "
+        f"{s['links_partitioned']} link(s), "
+        if s["frames_partition_dropped"] else ""
+    )
     return (
         f"faults: {s['frames_dropped']} dropped "
         f"({s['bytes_dropped']}B), {s['frames_corrupted']} corrupted, "
-        f"{slowed}"
+        f"{slowed}{duplicated}{reordered}{partitioned}"
         f"{s['links_down']} link(s) down; "
         f"conservation(with faults): {'ok' if conserved else 'VIOLATED'}"
     )

@@ -93,6 +93,64 @@ class Cluster:
             self.sim.schedule(max(0.0, plan.node_restart_at - self.sim.now),
                               node.restart)
 
+    def partition(
+        self,
+        groups: Sequence[Sequence[int]],
+        from_us: float,
+        until_us: float | None,
+        one_way: bool = False,
+    ) -> int:
+        """Sever the network between node groups for a time window.
+
+        Every link whose endpoints sit in *different* groups gets a
+        partition window ``[from_us, until_us)`` (``until_us=None`` =
+        forever) appended to its :class:`FaultPlan` — installing one if
+        the link has none.  Nodes not named in any group are unaffected.
+
+        With ``one_way=True`` only links from a lower-indexed group to a
+        higher-indexed one drop frames: asymmetric loss where A cannot
+        reach B but B's frames (including heartbeats) still reach A.
+
+        Returns the number of links the partition was installed on.
+        """
+        if len(groups) < 2:
+            raise NetworkError(
+                f"a partition needs at least 2 groups, got {len(groups)}")
+        membership: dict[int, int] = {}
+        for gidx, members in enumerate(groups):
+            for node_id in members:
+                self.node(node_id)  # range check
+                if node_id in membership:
+                    raise NetworkError(
+                        f"node {node_id} appears in more than one "
+                        "partition group")
+                membership[node_id] = gidx
+        installed = 0
+        for link in self.links:
+            ga = membership.get(link.src.node_id)
+            gb = membership.get(link.dst.node_id)
+            if ga is None or gb is None or ga == gb:
+                continue
+            if one_way and ga > gb:
+                continue
+            plan = link.fault_plan
+            if plan is None:
+                link.fault_plan = FaultPlan(
+                    partitions=((from_us, until_us),))
+            elif isinstance(plan, FaultPlan):
+                plan.add_partition(from_us, until_us)
+            else:
+                raise NetworkError(
+                    f"{link.name} carries a bare callable fault injector; "
+                    "partitions compose only with FaultPlan")
+            installed += 1
+        if installed:
+            self.tracer.emit(self.sim.now, "cluster", "partition",
+                             groups=[list(g) for g in groups],
+                             from_us=from_us, until_us=until_us,
+                             one_way=one_way, links=installed)
+        return installed
+
     def rail_index(self, tech_or_name: str) -> int:
         """Find a rail by profile name or technology string."""
         for idx, profile in enumerate(self.rails):
@@ -106,16 +164,19 @@ class Cluster:
     def conservation_ok(self, allow_faults: bool = False) -> bool:
         """True when no frame is lost or duplicated on any quiesced link.
 
-        With ``allow_faults=True``, frames an injected fault dropped are
-        accounted for instead of counted as violations: every frame that
-        entered a link must either have been delivered or deliberately
-        dropped.  This is the check to use with the reliability layer,
-        whose retransmissions re-enter links as fresh sends.
+        With ``allow_faults=True``, frames an injected fault dropped or
+        duplicated are accounted for instead of counted as violations:
+        every frame that entered a link must either have been delivered
+        or deliberately dropped, and every wire echo adds exactly one
+        extra delivery.  This is the check to use with the reliability
+        layer, whose retransmissions re-enter links as fresh sends.
         """
         if allow_faults:
             return all(
-                l.frames_sent == l.frames_delivered + l.frames_dropped
-                and l.bytes_sent == l.bytes_delivered + l.bytes_dropped
+                l.frames_sent + l.frames_duplicated
+                == l.frames_delivered + l.frames_dropped
+                and l.bytes_sent + l.bytes_duplicated
+                == l.bytes_delivered + l.bytes_dropped
                 for l in self.links
             )
         return all(
@@ -130,9 +191,17 @@ class Cluster:
             "frames_dropped": sum(l.frames_dropped for l in self.links),
             "frames_corrupted": sum(l.frames_corrupted for l in self.links),
             "frames_slowed": sum(l.frames_slowed for l in self.links),
+            "frames_duplicated": sum(l.frames_duplicated for l in self.links),
+            "frames_reordered": sum(l.frames_reordered for l in self.links),
+            "frames_jittered": sum(l.frames_jittered for l in self.links),
+            "frames_partition_dropped": sum(
+                l.frames_partition_dropped for l in self.links),
             "bytes_dropped": sum(l.bytes_dropped for l in self.links),
+            "bytes_duplicated": sum(l.bytes_duplicated for l in self.links),
             "links_down": sum(1 for l in self.links if l.down),
             "links_slowed": sum(1 for l in self.links if l.frames_slowed),
+            "links_partitioned": sum(
+                1 for l in self.links if l.frames_partition_dropped),
             "nodes_down": sum(1 for n in self.nodes if not n.up),
             "nic_frames_lost": sum(
                 nic.frames_lost for n in self.nodes for nic in n.nics

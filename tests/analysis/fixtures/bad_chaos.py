@@ -1,0 +1,14 @@
+# nm-path: repro/chaos/runner.py
+"""Fixture: chaos-package boundary violations the checker must catch."""
+
+
+def peek_ledger(engine):
+    return engine.flowcontrol._peers  # NM305 (only audit.py may read)
+
+
+def sniff_session(engine, peer):
+    return engine.sessions._state[peer]  # NM305 (layer-private read)
+
+
+def dispatch(fault):
+    return fault.kind == "partion"  # NM304 (typo'd chaos fault kind)

@@ -1,0 +1,18 @@
+# nm-path: repro/chaos/audit.py
+"""Fixture: the sanctioned audit idiom — read-only cross-layer checks."""
+
+
+def balanced(engine, peer_engine, peer, node_id):
+    ledger = engine.flowcontrol._peers[peer]  # audit.py may read privates
+    outstanding = ledger.sent_bytes_total - ledger.peer_released_bytes
+    view = peer_engine.flowcontrol._peers.get(node_id)
+    released = view.released_bytes_total if view else 0
+    return outstanding == 0 and ledger.peer_released_bytes <= released
+
+
+def dispatch(fault):
+    return fault.kind in ("partition", "crash")  # registered chaos kinds
+
+
+def count_suspects(engine):
+    return len(engine.sessions.suspect_peers())  # public accessor, any module

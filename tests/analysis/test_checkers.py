@@ -116,6 +116,29 @@ def test_good_sessions_is_clean():
     assert report.ok, codes_of(report)
 
 
+# -- chaos-package boundary (PR 6: NM305 + chaos fault kinds) -----------------
+
+def test_bad_chaos_trips_private_reads_and_kind_typo():
+    report = run_fixture("bad_chaos.py")
+    codes = codes_of(report)
+    # Two layer-private reads outside audit.py, one typo'd fault kind.
+    assert codes.count("NM305") == 2
+    assert codes.count("NM304") == 1
+
+
+def test_bad_chaos_audit_trips_mutations_only():
+    report = run_fixture("bad_chaos_audit.py")
+    codes = codes_of(report)
+    # The private *read* is sanctioned in audit.py; both writes flag.
+    assert "NM302" in codes  # flow-control owns its cumulative totals
+    assert codes.count("NM305") == 1  # private write, even from the auditor
+
+
+def test_good_chaos_is_clean():
+    report = run_fixture("good_chaos.py")
+    assert report.ok, codes_of(report)
+
+
 # -- event-loop hygiene (NM4xx) -----------------------------------------------
 
 def test_bad_blocking_trips_open_sleep_and_print():

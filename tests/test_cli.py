@@ -154,3 +154,59 @@ class TestReport:
     def test_bad_slow_link_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("report", "--slow-link", "0.5", "--messages", "5")
+
+
+class TestReportPartitionGroup:
+    def test_stat_groups_cover_every_engine_counter(self):
+        # The grouped table is asserted complete against EngineStats at
+        # payload-build time; mirror it here so a new counter that is not
+        # slotted into a group fails loudly in both places.
+        import dataclasses
+
+        from repro.core.engine import EngineStats
+
+        grouped = {f for _, fields in REPORT_STAT_GROUPS for f in fields}
+        assert grouped == {f.name for f in dataclasses.fields(EngineStats)}
+
+    def test_json_report_includes_partition_counters(self):
+        code, text = run_cli("report", "--sessions", "epoch",
+                             "--reliability", "ack", "--messages", "10",
+                             "--json")
+        assert code == 0
+        payload = json.loads(text)
+        for eng in payload["engines"]:
+            assert set(eng["partition"]) == {"peers_recovered",
+                                             "frames_parked"}
+
+
+class TestChaosCommand:
+    def test_quick_sweep_is_clean_and_deterministic(self, tmp_path):
+        j1, j2 = tmp_path / "a.json", tmp_path / "b.json"
+        code1, text1 = run_cli("chaos", "--seed", "0", "--seeds", "2",
+                               "--quick", "--json", str(j1))
+        code2, _ = run_cli("chaos", "--seed", "0", "--seeds", "2",
+                           "--quick", "--json", str(j2))
+        assert code1 == code2 == 0
+        assert "2/2 seed(s) clean" in text1
+        assert j1.read_text() == j2.read_text()
+        payload = json.loads(j1.read_text())
+        assert payload["ok"] is True
+        assert len(payload["seeds"]) == 2
+        for seed_report in payload["seeds"]:
+            assert seed_report["findings"] == []
+            assert seed_report["drained"] is True
+
+    def test_failing_sweep_exits_nonzero_and_shrinks(self, monkeypatch):
+        from repro.core.flowcontrol import FlowControlLayer
+
+        monkeypatch.setattr(FlowControlLayer, "release",
+                            lambda self, *a, **k: None)
+        code, text = run_cli("chaos", "--seed", "3", "--quick", "--shrink")
+        assert code == 1
+        assert "FINDING [credit-leak]" in text
+        assert "repro snippet" in text
+        assert "run_schedule" in text
+
+    def test_bad_seeds_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("chaos", "--seeds", "0")

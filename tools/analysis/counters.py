@@ -52,6 +52,7 @@ STATS_COUNTERS = frozenset({
     "credits_granted", "nacks_sent", "nack_resends",
     "peers_suspected", "peers_dead", "epochs_started",
     "stale_frames_fenced", "heartbeats_sent",
+    "peers_recovered", "frames_parked",
 })
 
 WINDOW_MODULE = "repro/core/window.py"

@@ -28,6 +28,15 @@ event telling three different stories.  The rules:
   frame no dispatcher matches.  Every kind used in a ``Frame(kind=...)``
   construction or a ``.kind == "..."`` comparison must be registered in
   :data:`FRAME_KINDS` (mirroring ``repro.netsim.frames.FrameKind``).
+  Inside ``repro/chaos/`` the same comparison shape dispatches on
+  :class:`~repro.chaos.schedule.ChaosFault` kinds instead, so literals
+  there are checked against :data:`CHAOS_FAULT_KINDS`.
+* **NM305** — the chaos auditor deliberately crosses layer boundaries
+  (it cross-checks the flow-control ledgers against each other), which
+  is safe only while that stays read-only and in one place.  Within
+  ``repro/chaos/`` an underscore-private attribute of another object may
+  be *read* only in ``repro/chaos/audit.py`` and *written* nowhere — the
+  auditor inspects, never mutates.
 """
 
 from __future__ import annotations
@@ -47,8 +56,9 @@ EVENT_MODULE = "repro/sim/core.py"
 #: NM302 applies where engine state objects circulate.  The baselines
 #: (repro/baselines/) reimplement a classic library with their own local
 #: state machines that reuse field names like ``next_offset``; they never
-#: hold engine rendezvous/request objects, so they are out of scope.
-_NM302_SCOPE = ("repro/core/", "repro/madmpi/")
+#: hold engine rendezvous/request objects, so they are out of scope.  The
+#: chaos auditor *does* hold them (it cross-checks the ledgers), so it is in.
+_NM302_SCOPE = ("repro/core/", "repro/madmpi/", "repro/chaos/")
 
 #: Transition fields and the single module allowed to write them.
 _WRITE_OWNERS: dict[str, frozenset[str]] = {
@@ -89,6 +99,19 @@ FRAME_KINDS = frozenset({
     "session_hello", "session_welcome", "heartbeat",
 })
 
+#: Registered chaos fault kinds; mirrors ``repro.chaos.schedule.FAULT_KINDS``.
+#: Within repro/chaos/ a ``.kind == "..."`` comparison dispatches on
+#: :class:`ChaosFault` records, not frames, so literals there are checked
+#: against this vocabulary instead (same typo failure mode, NM304).
+CHAOS_FAULT_KINDS = frozenset({
+    "drop", "burst", "corrupt", "slow", "dup", "reorder",
+    "jitter", "partition", "crash",
+})
+
+#: The chaos package (NM305 scope) and its one sanctioned inspector.
+CHAOS_SCOPE = "repro/chaos/"
+CHAOS_AUDIT_MODULE = "repro/chaos/audit.py"
+
 
 class LifecycleChecker(Checker):
     name = "lifecycle"
@@ -97,10 +120,11 @@ class LifecycleChecker(Checker):
         "NM302": "lifecycle transition field written outside its owner module",
         "NM303": "window-private storage read outside window.py",
         "NM304": "unregistered frame-kind string literal",
+        "NM305": "layer-private state touched in repro/chaos/ outside audit.py",
     }
     scope = ("repro/",)
 
-    # -- NM301 / NM303: any access (read or write) -----------------------------
+    # -- NM301 / NM303 / NM305: any access (read or write) ---------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:
         attr = node.attr
         if (attr in EVENT_PRIVATE and self.ctx.path != EVENT_MODULE
@@ -117,12 +141,36 @@ class LifecycleChecker(Checker):
                         f"read of window-private {attr!r} outside "
                         "repro/core/window.py; consume the eligible*/"
                         "backlog*/pending_bytes accessors instead")
+        if (self.ctx.path.startswith(CHAOS_SCOPE)
+                and attr.startswith("_") and not attr.startswith("__")
+                and not is_self_access(node)):
+            if not isinstance(node.ctx, ast.Load):
+                self.report(node, "NM305",
+                            f"write to layer-private {attr!r} from the "
+                            "chaos package; the auditor inspects engine "
+                            "state, it never mutates it")
+            elif self.ctx.path != CHAOS_AUDIT_MODULE:
+                self.report(node, "NM305",
+                            f"read of layer-private {attr!r} from "
+                            f"{self.ctx.path}; only repro/chaos/audit.py "
+                            "may cross layer boundaries (and read-only)")
         self.generic_visit(node)
 
-    # -- NM304: frame-kind literals -------------------------------------------
-    def _check_kind_literal(self, node: ast.expr) -> None:
-        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
-                and node.value not in FRAME_KINDS):
+    # -- NM304: frame-kind / chaos-fault-kind literals -------------------------
+    def _check_kind_literal(self, node: ast.expr, frame_only: bool = False,
+                            ) -> None:
+        if not (isinstance(node, ast.Constant)
+                and isinstance(node.value, str)):
+            return
+        if not frame_only and self.ctx.path.startswith(CHAOS_SCOPE):
+            # ``.kind`` in the chaos package dispatches ChaosFault records.
+            if node.value not in CHAOS_FAULT_KINDS:
+                self.report(node, "NM304",
+                            f"chaos fault kind {node.value!r} is not "
+                            "registered; add it to schedule.FAULT_KINDS and "
+                            "tools/analysis/lifecycle.CHAOS_FAULT_KINDS "
+                            "(typo'd kinds dispatch nowhere)")
+        elif node.value not in FRAME_KINDS:
             self.report(node, "NM304",
                         f"frame kind {node.value!r} is not registered; add "
                         "it to FrameKind and to tools/analysis/lifecycle."
@@ -145,7 +193,7 @@ class LifecycleChecker(Checker):
         if name == "Frame":
             for kw in node.keywords:
                 if kw.arg == "kind":
-                    self._check_kind_literal(kw.value)
+                    self._check_kind_literal(kw.value, frame_only=True)
         self.generic_visit(node)
 
     # -- NM302: writes only ----------------------------------------------------
