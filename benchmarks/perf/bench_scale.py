@@ -1,0 +1,39 @@
+"""Large-cluster scale bench: random traffic on a sparse 256-1024 hypercube.
+
+The paper's testbeds stop at a handful of nodes; this bench asks how fast
+the kernel chews through a *big* cluster's traffic.  A full-mesh
+:class:`~repro.netsim.topology.Cluster` would need O(N^2) links, so
+:mod:`repro.bench.scale` wires NICs into a hypercube (log2 N links per
+node) and forwards seeded random frames hop by hop.  Makespans are
+deterministic; only the wall clock varies.
+"""
+
+from repro.bench.scale import bench_scale
+
+
+def test_scale_256_nodes(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: bench_scale(n_nodes=256, n_frames=10_000),
+        rounds=1, iterations=1)
+    emit(f"== Scale: 256-node hypercube ==\n"
+         f"  {result['events_per_s']:>12,.0f} events/s "
+         f"({result['delivered']} frames delivered, "
+         f"{result['forwarded']} forwards, "
+         f"sim makespan {result['sim_us_makespan']:.1f} us)")
+    assert result["delivered"] == result["n_frames"]
+    # Loaded-CI floor; a regression to O(links) or O(queue) behaviour in
+    # the kernel or NIC paths lands far below this.
+    assert result["events_per_s"] > 20_000
+
+
+def test_scale_1024_nodes(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: bench_scale(n_nodes=1024, n_frames=10_000),
+        rounds=1, iterations=1)
+    emit(f"== Scale: 1024-node hypercube ==\n"
+         f"  {result['events_per_s']:>12,.0f} events/s "
+         f"({result['delivered']} frames delivered, "
+         f"{result['forwarded']} forwards, "
+         f"sim makespan {result['sim_us_makespan']:.1f} us)")
+    assert result["delivered"] == result["n_frames"]
+    assert result["events_per_s"] > 20_000

@@ -1,0 +1,139 @@
+"""Large-cluster scale benchmark over a sparse netsim topology.
+
+The full-mesh :class:`~repro.netsim.topology.Cluster` builds O(N^2) links,
+which is fine for the paper's 2-16 node testbeds but useless for asking
+"how fast does the kernel chew through a 1024-node cluster's traffic?".
+This bench wires :class:`~repro.netsim.nic.Nic` and
+:class:`~repro.netsim.link.Link` directly into a **hypercube**: node ``i``
+links to ``i ^ (1 << k)`` for every bit ``k``, so a 1024-node cluster
+costs 10 links per node instead of 1023.  Frames carry their final
+destination in the payload and are forwarded hop by hop, correcting the
+lowest differing address bit each hop (<= log2(N) hops, deterministic).
+
+The workload is seeded random traffic: every frame picks a random
+(source, destination) pair and a staggered injection time, so the event
+queue sees the mix the calendar-queue kernel is built for — bursts of
+same-timestamp NIC completions interleaved with far-flung timers.
+Everything except the wall-clock readings is deterministic; the simulated
+makespan doubles as a cross-host fidelity guard in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.errors import ReproError
+from repro.netsim.frames import Frame, FrameKind
+from repro.netsim.link import Link
+from repro.netsim.nic import Nic
+from repro.netsim.profiles import MX_MYRI10G, NicProfile
+from repro.sim import Simulator, Tracer
+
+__all__ = ["build_hypercube", "bench_scale"]
+
+
+def _next_hop(node: int, final: int) -> int:
+    """Correct the lowest differing address bit (dimension-order routing)."""
+    diff = node ^ final
+    return node ^ (diff & -diff)
+
+
+def build_hypercube(
+    sim: Simulator,
+    n_nodes: int,
+    profile: NicProfile = MX_MYRI10G,
+) -> list[Nic]:
+    """One NIC per node, links along every hypercube dimension."""
+    if n_nodes < 2 or n_nodes & (n_nodes - 1):
+        raise ReproError(f"hypercube needs a power-of-two node count, "
+                         f"got {n_nodes}")
+    tracer = Tracer()  # disabled: at 1024 nodes tracing would dwarf the run
+    nics = [
+        Nic(sim, node_id=i, rail=0, profile=profile, tracer=tracer)
+        for i in range(n_nodes)
+    ]
+    dim = n_nodes.bit_length() - 1
+    for i in range(n_nodes):
+        for k in range(dim):
+            j = i ^ (1 << k)
+            nics[i].connect(
+                j,
+                Link(sim, nics[i], nics[j], latency_us=profile.latency_us,
+                     tracer=tracer),
+            )
+    return nics
+
+
+def bench_scale(
+    n_nodes: int = 256,
+    n_frames: int = 20_000,
+    seed: int = 11,
+    payload_bytes: int = 512,
+) -> dict:
+    """Seeded random traffic across a hypercube of ``n_nodes`` NICs.
+
+    Returns host events/s plus the (deterministic) simulated makespan and
+    delivery counters.  ``n_nodes`` scales to 1024 from the CLI.
+    """
+    if n_frames < 1:
+        raise ReproError(f"bad frame count {n_frames}")
+    if payload_bytes < 1:
+        raise ReproError(f"bad payload size {payload_bytes}")
+    sim = Simulator()
+    nics = build_hypercube(sim, n_nodes)
+    delivered = [0]
+    forwarded = [0]
+
+    def make_handler(node_id: int):
+        nic = nics[node_id]
+
+        def handle(frame: Frame) -> None:
+            final = frame.payload
+            if final == node_id:
+                delivered[0] += 1
+                return
+            forwarded[0] += 1
+            nxt = _next_hop(node_id, final)
+            nic.post_send(Frame(src_node=node_id, dst_node=nxt,
+                                kind=FrameKind.DATA, wire_size=frame.wire_size,
+                                payload=final))
+
+        return handle
+
+    for i in range(n_nodes):
+        nics[i].set_receive_handler(make_handler(i))
+
+    rng = random.Random(seed)
+    t0 = time.perf_counter()
+    for n in range(n_frames):
+        src = rng.randrange(n_nodes)
+        final = rng.randrange(n_nodes - 1)
+        if final >= src:
+            final += 1  # never self-addressed
+        # Stagger injections so the queue mixes bursty same-time
+        # completions with timers spread across the run.
+        at = (n % 97) * 0.25 + rng.random() * 0.05
+
+        def inject(src: int = src, final: int = final) -> None:
+            nics[src].post_send(Frame(src_node=src,
+                                      dst_node=_next_hop(src, final),
+                                      kind=FrameKind.DATA,
+                                      wire_size=payload_bytes,
+                                      payload=final))
+
+        sim.schedule(at, inject)
+    sim.run()
+    wall_s = time.perf_counter() - t0
+    events = sim.events_processed
+    return {
+        "n_nodes": n_nodes,
+        "n_frames": n_frames,
+        "seed": seed,
+        "delivered": delivered[0],
+        "forwarded": forwarded[0],
+        "events": events,
+        "wall_s": wall_s,
+        "events_per_s": events / wall_s,
+        "sim_us_makespan": sim.now,
+    }

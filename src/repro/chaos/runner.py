@@ -365,7 +365,9 @@ def run_chaos(seed: int, spec: ChaosSpec | None = None) -> ChaosReport:
         seed=seed,
         ok=not findings,
         drained=world.drained,
-        elapsed_us=world.sim.now,
+        # Time of last actual activity when the run drained early, the full
+        # window otherwise (sim.now always reaches the run() deadline).
+        elapsed_us=world.sim.last_event_time if world.drained else world.sim.now,
         n_messages=spec.n_messages,
         delivered=sum(1 for st in world.tags.values() if st.delivered()),
         spec=spec,

@@ -70,6 +70,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: BENCH_perf.json)")
     perf.add_argument("--backlog", type=int, default=1000,
                       help="held window depth for the window-ops bench")
+    perf.add_argument("--scale-nodes", type=int, default=256,
+                      help="hypercube size for the scale bench "
+                           "(power of two, up to 1024; default: 256)")
+    perf.add_argument("--check", metavar="PATH", default=None,
+                      help="gate the fresh run against a committed "
+                           "BENCH_perf.json trajectory (host-neutral "
+                           "speedup ratios + simulated-time pins); "
+                           "exit 1 on regression")
 
     report = sub.add_parser(
         "report",
@@ -428,14 +436,36 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     elif args.command == "chaos":
         return _chaos(args, out)
     elif args.command == "perf":
-        from repro.bench.perf import render_perf, run_suite, write_bench
+        import json as _json
+
+        from repro.bench.perf import (
+            check_bench,
+            render_perf,
+            run_suite,
+            write_bench,
+        )
 
         if args.backlog < 1:
             raise SystemExit("--backlog must be >= 1")
-        payload = run_suite(quick=args.quick, backlog=args.backlog)
+        baseline = None
+        if args.check is not None:
+            # Read before writing --out: the two paths may be the same
+            # file, and the gate must compare against the committed copy.
+            with open(args.check, encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+        payload = run_suite(quick=args.quick, backlog=args.backlog,
+                            scale_nodes=args.scale_nodes)
         _print(out, render_perf(payload))
         path = write_bench(payload, args.out)
         _print(out, f"wrote {path}")
+        if baseline is not None:
+            failures = check_bench(payload, baseline)
+            if failures:
+                _print(out, f"PERF GATE FAILED vs {args.check}:")
+                for line in failures:
+                    _print(out, f"  - {line}")
+                return 1
+            _print(out, f"perf gate passed vs {args.check}")
     elif args.command == "validate":
         from repro.bench.claims import evaluate_claims, render_verdicts
 

@@ -404,15 +404,20 @@ class Link:
             self._last_deliver_at = deliver_at
         self.tracer.emit(self.sim.now, self.name, "wire_enter",
                          frame=frame.frame_id, size=frame.wire_size)
-        self.sim.schedule(deliver_at - self.sim.now, lambda: self._deliver(frame))
         if action == DUPLICATE:
             # The wire echoes the frame: a second, independent delivery of
             # the same bytes right behind the first (FIFO tie-break keeps
-            # the original in front).
+            # the original in front).  Both copies ride one queue entry —
+            # schedule_batch is exactly equivalent to two back-to-back
+            # schedule() calls but costs a single push and dispatch.
             self.frames_duplicated += 1
             self.bytes_duplicated += frame.wire_size
             self.tracer.emit(self.sim.now, self.name, "wire_dup",
                              frame=frame.frame_id, size=frame.wire_size)
+            deliver: Callable[[], None] = lambda: self._deliver(frame)
+            self.sim.schedule_batch(deliver_at - self.sim.now,
+                                    [deliver, deliver])
+        else:
             self.sim.schedule(deliver_at - self.sim.now,
                               lambda: self._deliver(frame))
 

@@ -6,7 +6,7 @@ transmission), so we need an event-driven clock rather than wall time.  The
 kernel is deliberately small and SimPy-flavoured:
 
 * :class:`Simulator` owns a monotonically non-decreasing clock (``now``, in
-  microseconds by convention) and a binary-heap event queue.
+  microseconds by convention) and a deterministic priority queue.
 * :class:`Event` is a one-shot occurrence that callbacks and processes can
   wait on.  :class:`Timeout` is an event scheduled at ``now + delay``.
 * :class:`Process` wraps a generator; the generator yields events (or other
@@ -19,16 +19,68 @@ The kernel is single-threaded and deterministic: events scheduled for the
 same timestamp fire in FIFO scheduling order (a strictly increasing sequence
 number breaks ties), which makes every simulation and therefore every
 benchmark series exactly reproducible.
+
+The queue is a three-tier calendar structure rather than the seed's single
+binary heap (frozen as :class:`repro.bench.legacy_kernel.LegacySimulator`
+for comparison benches and the ordering-equivalence property test):
+
+* a **now-queue** — a plain FIFO for occurrences at exactly the current
+  timestamp (event activations, zero-delay schedules).  These are by far
+  the most common push in the engine (every ``succeed`` travels through
+  it) and need neither a tuple nor a heap: append order *is* ``(time,
+  seq)`` order because the clock cannot move while they wait;
+* a **timer wheel** — ``wheel_buckets`` buckets of ``wheel_width_us``
+  (sized around the dominant NIC-latency granularity) covering the near
+  future.  A push is an O(1) list append; a bucket is sorted by ``(time,
+  seq)`` only when the clock reaches it, so a burst of same-timestamp
+  completions costs one extraction instead of N heap pops;
+* an **overflow heap** — far timers beyond the wheel horizon
+  (retransmission backoffs, heartbeats) fall back to a binary heap and
+  are merged per-bucket when the wheel reaches their epoch.
+
+Ordering is exactly heap-equivalent: buckets partition the time axis, so
+cross-bucket order is free, and the per-bucket sort (plus bisect insertion
+for entries scheduled into the in-flight bucket) restores ``(time, seq)``
+within one.  ``tests/test_sim_wheel.py`` pins the equivalence with a
+Hypothesis property against the frozen legacy kernel.
 """
 
 from __future__ import annotations
 
-import heapq
+import sys
+from bisect import insort
+from collections import deque
 from collections.abc import Callable, Generator, Iterable
+from heapq import heappop, heappush
+from itertools import islice
 
 from typing import Any
 
 from repro.errors import ProgressStallError, SimulationError
+
+#: Event/Timeout freelist recycling relies on CPython reference counts to
+#: prove no condition, process, or user closure still holds the object.
+_POOLING = sys.implementation.name == "cpython"
+_POOL_CAP = 4096
+_getrefcount: Callable[[Any], int] = getattr(sys, "getrefcount", lambda _o: -1)
+
+#: Wheel geometry: 1024 buckets of 2us cover a ~2ms near-term horizon —
+#: wide enough that the dominant NIC-latency delays (sub-us CPU gaps,
+#: us-scale wire/DMA times) *and* heartbeat/retransmission timers all land
+#: in the wheel, with only pathological far timers overflowing to the
+#: heap; fine enough that one bucket extraction amortizes the sort over a
+#: dense burst without pulling in distant work.  Power-of-two bucket count
+#: keeps the slot index a mask instead of a modulo.
+_WHEEL_BITS = 10
+_NB = 1 << _WHEEL_BITS
+_MASK = _NB - 1
+_WIDTH_US = 2.0
+_INV_WIDTH = 1.0 / _WIDTH_US
+#: Push-time horizon guard: rejects inf/nan timestamps, which the epoch
+#: arithmetic (``int(t * _INV_WIDTH)``) cannot digest.  The seed heap
+#: silently accepted them; nothing in the engine ever scheduled one.
+_T_MAX = 1e300
+_INF = float("inf")
 
 __all__ = [
     "Simulator",
@@ -54,7 +106,10 @@ class Event:
     determinism).
     """
 
-    __slots__ = ("sim", "_callbacks", "_ok", "_value", "_exc", "_defused", "name")
+    __slots__ = (
+        "sim", "_callbacks", "_ok", "_value", "_exc", "_defused", "name",
+        "_pooled",
+    )
 
     def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
@@ -66,6 +121,10 @@ class Event:
         # Failed events whose exception is never observed raise at run() end
         # unless "defused" (observed by a waiter or explicitly).
         self._defused = False
+        # Freelist-eligible (only kernel-created Timeouts set this; the run
+        # loop additionally proves via refcount that nobody else holds the
+        # object before recycling it).
+        self._pooled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -139,20 +198,35 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
+
+    Completed timeouts with no remaining holders are recycled through
+    :attr:`Simulator._timeout_pool` (the name is left empty rather than the
+    old ``f"timeout({delay})"`` — the f-string alone was ~25% of timeout
+    creation cost; :meth:`__repr__` still shows the delay).
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim, name=f"timeout({delay})")
+        super().__init__(sim)
         self.delay = delay
         # The success value is stored now; the event only *triggers* when the
         # run loop pops it at now+delay (see Simulator.run), so `triggered`
         # and condition bookkeeping stay accurate in the meantime.
         self._value = value
+        self._pooled = _POOLING
         sim._schedule_event(delay, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if self._ok is None
+            else ("ok" if self._ok else f"failed({self._exc!r})")
+        )
+        return f"<Timeout({self.delay:g}) {state}>"
 
 
 class Interrupt(SimulationError):
@@ -411,15 +485,46 @@ class Watchdog:
 
 
 class Simulator:
-    """The event loop: a clock plus a deterministic priority queue."""
+    """The event loop: a clock plus a deterministic priority queue.
+
+    The queue is the three-tier calendar structure described in the module
+    docstring (now-queue / timer wheel / far heap).  All three tiers share
+    one strictly increasing sequence counter, so the dispatch order is
+    exactly the ``(time, seq)`` order the seed's single heap produced —
+    the representation changed, the contract did not.
+    """
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Any]] = []
         self._seq = 0
         self._running = False
         self._n_processed = 0
+        self._last_t = 0.0
         self._deadlock_hints: list[Callable[[], str | None]] = []
+        # Tier 1: occurrences at exactly the current timestamp, FIFO.  Bare
+        # items — while the clock stands still, append order IS (time, seq)
+        # order, so no tuple is built for the hottest push path.
+        self._now_q: deque[Any] = deque()
+        # Tier 2: the timer wheel.  Bucket ``e & _MASK`` holds entries of
+        # exactly one epoch ``e = int(t * _INV_WIDTH)`` within the window
+        # [_cur_epoch, _wheel_end); the window invariant is what makes the
+        # per-slot sort-on-extract equivalent to a global heap.
+        self._buckets: list[list[tuple[float, int, Any]]] = [
+            [] for _ in range(_NB)
+        ]
+        self._cur_epoch = 0
+        self._wheel_end = _NB
+        self._n_wheel = 0
+        # Tier 3: far timers beyond the wheel horizon (plus, transiently,
+        # entries behind the cursor after an early run() exit).
+        self._far: list[tuple[float, int, Any]] = []
+        # The bucket currently being dispatched: sorted entries, a cursor,
+        # and the epoch it was extracted for (consumed slots become None).
+        self._batch: list[Any] = []
+        self._batch_i = 0
+        self._batch_epoch = -1
+        # Freelist of completed, unreferenced Timeouts (see Simulator.run).
+        self._timeout_pool: list[Timeout] = []
 
     def add_deadlock_hint(self, fn: Callable[[], str | None]) -> None:
         """Register a diagnosis callback consulted when a deadlock fires.
@@ -439,8 +544,24 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        """Total number of queue entries processed so far (for stats)."""
+        """Total number of occurrences processed so far (for stats).
+
+        Exact at every timestamp boundary, including *during* ``run()``
+        (the hot loop mirrors the count in a local and flushes it whenever
+        the clock is about to move); within a same-timestamp cascade it may
+        lag by the cascade's in-flight portion.
+        """
         return self._n_processed
+
+    @property
+    def last_event_time(self) -> float:
+        """Time of the most recently dispatched occurrence.
+
+        Unlike :attr:`now`, this does not advance when ``run(until=...)``
+        outlives the queue — it answers "when did the simulation last do
+        something", which is what activity reports want.
+        """
+        return self._last_t
 
     # -- event construction ------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -449,6 +570,45 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers after ``delay`` time units."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            to = pool.pop()
+            to.delay = delay
+            to._value = value
+            self._seq = seq = self._seq + 1
+            t = self._now + delay
+            if t <= self._now:
+                self._now_q.append(to)
+            else:  # inlined _push, see schedule()
+                if not t <= _T_MAX:
+                    raise SimulationError(
+                        f"cannot schedule at t={t!r} (beyond the kernel horizon)"
+                    )
+                epoch = int(t * _INV_WIDTH)
+                if epoch == self._batch_epoch:
+                    batch = self._batch
+                    if self._batch_i < len(batch):
+                        insort(batch, (t, seq, to), lo=self._batch_i)
+                        return to
+                    if (
+                        epoch == self._cur_epoch
+                        and not self._n_wheel
+                        and not self._far
+                    ):
+                        batch.clear()
+                        self._batch_i = 0
+                        batch.append((t, seq, to))
+                        return to
+                    # Exhausted batch: fall through to the window check
+                    # (the batch may be a behind-cursor far extraction).
+                if self._cur_epoch <= epoch < self._wheel_end:
+                    self._buckets[epoch & _MASK].append((t, seq, to))
+                    self._n_wheel += 1
+                else:
+                    heappush(self._far, (t, seq, to))
+            return to
         return Timeout(self, delay, value)
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
@@ -464,78 +624,398 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling ---------------------------------------------------------
-    # The three push paths inline the tie-breaking sequence increment: they
-    # run once per simulated occurrence, so a method call per push is
-    # measurable on the event-loop throughput bench.
+    # The push paths inline the tie-breaking sequence increment and the
+    # now-queue fast path: they run once per simulated occurrence, so a
+    # method call per push is measurable on the event-loop throughput bench.
+    # Every push — including now-queue appends — bumps the sequence counter,
+    # which is what keeps mark() an exact "nothing happened in between"
+    # witness for the netsim coalescing guards.
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` after ``delay`` time units (0 = this timestamp)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq = seq = self._seq + 1
-        heapq.heappush(self._queue, (self._now + delay, seq, fn))
+        t = self._now + delay
+        if t <= self._now:
+            self._now_q.append(fn)
+        else:  # inlined _push (a call per occurrence is measurable here)
+            if not t <= _T_MAX:
+                raise SimulationError(
+                    f"cannot schedule at t={t!r} (beyond the kernel horizon)"
+                )
+            epoch = int(t * _INV_WIDTH)
+            if epoch == self._batch_epoch:
+                batch = self._batch
+                if self._batch_i < len(batch):
+                    insort(batch, (t, seq, fn), lo=self._batch_i)
+                    return
+                if (
+                    epoch == self._cur_epoch
+                    and not self._n_wheel
+                    and not self._far
+                ):
+                    batch.clear()
+                    self._batch_i = 0
+                    batch.append((t, seq, fn))
+                    return
+                # Exhausted batch: fall through to the window check (the
+                # batch may be a behind-cursor far extraction, whose
+                # epoch's slot now belongs to epoch + _NB).
+            if self._cur_epoch <= epoch < self._wheel_end:
+                self._buckets[epoch & _MASK].append((t, seq, fn))
+                self._n_wheel += 1
+            else:
+                heappush(self._far, (t, seq, fn))
+
+    def schedule_batch(self, delay: float, fns: list[Callable[[], None]]) -> None:
+        """Run ``fns`` back-to-back after ``delay``, as ONE queue entry.
+
+        Exactly equivalent to *consecutive* ``schedule(delay, fn)`` calls
+        (nothing can interleave between back-to-back pushes in a
+        single-threaded kernel, so collapsing the run of adjacent sequence
+        numbers into one entry is unobservable) but costs one push and one
+        dispatch; each ``fn`` still counts as one processed event.  The
+        kernel takes ownership of the list — callers must not mutate it
+        afterwards.  This is the primitive the NIC layers use to make a
+        burst of same-timestamp completions cost one dispatch.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not fns:
+            return
+        self._seq = seq = self._seq + 1
+        t = self._now + delay
+        if t <= self._now:
+            self._now_q.append(fns)
+        else:
+            self._push(t, seq, fns)
+
+    def mark(self) -> int:
+        """Opaque, strictly increasing stamp of the latest queue push.
+
+        Two equal marks prove no occurrence was scheduled in between; the
+        netsim layers use this to coalesce adjacent same-timestamp
+        completions into one batched dispatch without reordering anything.
+        """
+        return self._seq
 
     def _schedule_event(self, delay: float, event: Event) -> None:
         self._seq = seq = self._seq + 1
-        heapq.heappush(self._queue, (self._now + delay, seq, event))
+        t = self._now + delay
+        if t <= self._now:
+            self._now_q.append(event)
+        else:  # inlined _push, see schedule()
+            if not t <= _T_MAX:
+                raise SimulationError(
+                    f"cannot schedule at t={t!r} (beyond the kernel horizon)"
+                )
+            epoch = int(t * _INV_WIDTH)
+            if epoch == self._batch_epoch:
+                batch = self._batch
+                if self._batch_i < len(batch):
+                    insort(batch, (t, seq, event), lo=self._batch_i)
+                    return
+                if (
+                    epoch == self._cur_epoch
+                    and not self._n_wheel
+                    and not self._far
+                ):
+                    batch.clear()
+                    self._batch_i = 0
+                    batch.append((t, seq, event))
+                    return
+                # Exhausted batch: fall through to the window check (the
+                # batch may be a behind-cursor far extraction, whose
+                # epoch's slot now belongs to epoch + _NB).
+            if self._cur_epoch <= epoch < self._wheel_end:
+                self._buckets[epoch & _MASK].append((t, seq, event))
+                self._n_wheel += 1
+            else:
+                heappush(self._far, (t, seq, event))
 
     def _activate(self, event: Event) -> None:
         """Queue a triggered event's callbacks for execution *now*."""
-        self._seq = seq = self._seq + 1
-        heapq.heappush(self._queue, (self._now, seq, event))
+        self._seq += 1
+        self._now_q.append(event)
+
+    def _push(self, t: float, seq: int, item: Any) -> None:
+        """Insert a future occurrence into the wheel, batch, or far heap."""
+        if not t <= _T_MAX:
+            raise SimulationError(
+                f"cannot schedule at t={t!r} (beyond the kernel horizon)"
+            )
+        epoch = int(t * _INV_WIDTH)
+        if epoch == self._batch_epoch:
+            batch = self._batch
+            if self._batch_i < len(batch):
+                # The bucket being dispatched right now: bisect past the
+                # consumption cursor so the entry still fires in (t, seq)
+                # order (the consumed region holds Nones and is never
+                # compared).
+                insort(batch, (t, seq, item), lo=self._batch_i)
+                return
+            if epoch == self._cur_epoch and not self._n_wheel and not self._far:
+                # Serial-cascade fast path: the batch is exhausted and this
+                # is the only pending timed entry anywhere, so extending
+                # the batch in place is trivially the global (t, seq)
+                # order — and skips a full slot-extract/refill round trip.
+                batch.clear()
+                self._batch_i = 0
+                batch.append((t, seq, item))
+                return
+            # Exhausted batch: fall through to the window check below.  The
+            # batch may be a *behind-cursor* far extraction (after an early
+            # run() exit advanced the cursor), and then its epoch's slot
+            # belongs to epoch + _NB — appending there would strand the
+            # entry a full wheel revolution in the future.
+        if self._cur_epoch <= epoch < self._wheel_end:
+            self._buckets[epoch & _MASK].append((t, seq, item))
+            self._n_wheel += 1
+        else:
+            # Beyond the wheel horizon — or behind the cursor, which can
+            # happen after an early run() exit; _refill always takes
+            # min(wheel epoch, far epoch) so both cases stay ordered.
+            heappush(self._far, (t, seq, item))
+
+    def _refill(self) -> bool:
+        """Extract the next non-empty epoch into ``_batch`` (sorted).
+
+        Returns ``False`` when every tier is empty.  The far heap may hold
+        entries of any epoch (far timers, behind-cursor pushes), so the
+        next epoch is always min(first non-empty wheel slot, far top); far
+        entries of that same epoch are merged into the extracted slot.
+        """
+        far = self._far
+        slot: list[tuple[float, int, Any]]
+        if self._n_wheel:
+            buckets = self._buckets
+            e = self._cur_epoch
+            while True:
+                slot = buckets[e & _MASK]
+                if slot:
+                    break
+                e += 1
+            if far and int(far[0][0] * _INV_WIDTH) < e:
+                e = int(far[0][0] * _INV_WIDTH)
+                slot = []
+            else:
+                buckets[e & _MASK] = []
+                self._n_wheel -= len(slot)
+        elif far:
+            e = int(far[0][0] * _INV_WIDTH)
+            slot = []
+        else:
+            return False
+        while far and int(far[0][0] * _INV_WIDTH) == e:
+            slot.append(heappop(far))
+        slot.sort()
+        self._batch = slot
+        self._batch_i = 0
+        self._batch_epoch = e
+        if e > self._cur_epoch:
+            # Advancing the window is safe: every slot between the old
+            # cursor and ``e`` was just scanned empty (or the wheel is
+            # empty entirely), so the one-epoch-per-slot invariant holds
+            # for the new window [e, e + _NB).
+            self._cur_epoch = e
+            self._wheel_end = e + _NB
+        return True
 
     # -- run loop -------------------------------------------------------------
     def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
         """Process events until the queue drains or ``until`` is reached.
 
-        Returns the simulation time at exit.  Raises the exception of any
-        failed event that no waiter observed (so protocol bugs surface in
-        tests instead of vanishing).
+        Returns the simulation time at exit.  The clock always advances to
+        ``until`` when one is given — including when the queue drains first
+        (and it never moves backwards if ``until`` is already in the past).
+        Raises the exception of any failed event that no waiter observed
+        (so protocol bugs surface in tests instead of vanishing).
+
+        ``max_events`` is a livelock backstop: the run stops *before*
+        dispatching entry ``max_events + 1``, leaving it queued, with a
+        diagnostic carrying the current time, queue depth, and the next
+        few pending entries.
+
+        Hot loop notes: the now-queue, Event class and Timeout freelist are
+        bound to locals, and the processed counter is mirrored in a local
+        that flushes to ``_n_processed`` at every timestamp boundary — so
+        ``events_processed`` read from any timed callback (watchdog ticks,
+        chaos audits) is exact for all prior timestamps, while the
+        per-event cost stays one integer add.  Monotonicity needs no
+        explicit check: delays are validated non-negative at push time and
+        the calendar pops in (time, seq) order.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
-        # Hot loop: the queue list, heappop and the Event class are bound to
-        # locals, and the processed counter is flushed once at exit — the
-        # per-iteration attribute traffic is visible on event-loop
-        # throughput at the millions-of-events scale the soak tests and
-        # random-traffic benches reach.  Monotonicity needs no explicit
-        # check: delays are validated non-negative at push time and the heap
-        # pops in (time, seq) order.
-        queue = self._queue
-        pop = heapq.heappop
+        now_q = self._now_q
+        pop_now = now_q.popleft
         event_cls = Event
-        processed = 0
+        list_cls = list
+        pool = self._timeout_pool
+        refcount = _getrefcount
+        base = self._n_processed
+        limit = max_events
+        n = 0
         try:
-            while queue:
-                t = queue[0][0]
+            while True:
+                # Tier 1: everything at the current timestamp, push order.
+                while now_q:
+                    if n >= limit:
+                        self._n_processed = base + n
+                        raise SimulationError(self._livelock_report(limit))
+                    item = pop_now()
+                    if isinstance(item, event_cls):
+                        n += 1
+                        if item._ok is None:
+                            # A Timeout reaching its due time: trigger now.
+                            item._ok = True
+                        callbacks = item._callbacks
+                        item._callbacks = None
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(item)
+                        if item._ok is False and not item._defused:
+                            assert item._exc is not None
+                            raise item._exc
+                        if (
+                            item._pooled
+                            and len(pool) < _POOL_CAP
+                            and refcount(item) == 2
+                        ):
+                            # Only the loop local and refcount's argument
+                            # hold this Timeout: no process, condition or
+                            # user closure can ever see it again, so it is
+                            # safe to recycle (reusing its callbacks list).
+                            item._ok = None
+                            item._value = None
+                            item._exc = None
+                            item._defused = False
+                            if callbacks is not None:
+                                callbacks.clear()
+                                item._callbacks = callbacks
+                            else:
+                                item._callbacks = []
+                            pool.append(item)
+                    elif item.__class__ is list_cls:
+                        # A schedule_batch entry: one dispatch, len(fns)
+                        # logical events.
+                        n += len(item)
+                        for fn in item:
+                            fn()
+                    else:
+                        n += 1
+                        item()
+                self._n_processed = base + n
+                if n:
+                    self._last_t = self._now
+                # Tier 2/3: advance the clock to the next timed bucket.
+                batch = self._batch
+                i = self._batch_i
+                if i >= len(batch):
+                    if not self._refill():
+                        break
+                    batch = self._batch
+                    i = 0
+                t = batch[i][0]
                 if until is not None and t > until:
-                    self._now = until
-                    return until
-                t, _, item = pop(queue)
+                    break
                 self._now = t
-                processed += 1
-                if processed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely a livelock"
-                    )
-                if isinstance(item, event_cls):
-                    if item._ok is None:
-                        # A Timeout reaching its due time: trigger it now.
-                        item._ok = True
-                    callbacks = item._callbacks
-                    item._callbacks = None
-                    if callbacks:
-                        for fn in callbacks:
-                            fn(item)
-                    if item._ok is False and not item._defused:
-                        assert item._exc is not None
-                        raise item._exc
-                else:
-                    item()
+                # Dispatch the whole same-timestamp run before returning to
+                # the now-queue: these entries were pushed earlier (smaller
+                # seq) than anything their dispatch pushes at time t, so
+                # batch-first is exactly the heap's (time, seq) order.
+                while True:
+                    if n >= limit:
+                        self._batch_i = i
+                        self._n_processed = base + n
+                        raise SimulationError(self._livelock_report(limit))
+                    _t, _, item = batch[i]
+                    # Drop the tuple before dispatch: the freelist refcount
+                    # proof needs no stray queue reference to the item, and
+                    # insort above never compares the consumed region.
+                    batch[i] = None
+                    i += 1
+                    self._batch_i = i
+                    if isinstance(item, event_cls):
+                        n += 1
+                        if item._ok is None:
+                            item._ok = True
+                        callbacks = item._callbacks
+                        item._callbacks = None
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(item)
+                        if item._ok is False and not item._defused:
+                            assert item._exc is not None
+                            raise item._exc
+                        if (
+                            item._pooled
+                            and len(pool) < _POOL_CAP
+                            and refcount(item) == 2
+                        ):
+                            item._ok = None
+                            item._value = None
+                            item._exc = None
+                            item._defused = False
+                            if callbacks is not None:
+                                callbacks.clear()
+                                item._callbacks = callbacks
+                            else:
+                                item._callbacks = []
+                            pool.append(item)
+                    elif item.__class__ is list_cls:
+                        n += len(item)
+                        for fn in item:
+                            fn()
+                    else:
+                        n += 1
+                        item()
+                    if i >= len(batch) or batch[i][0] != t:
+                        break
+            if until is not None and until > self._now:
+                self._now = until
             return self._now
         finally:
-            self._n_processed += processed
+            self._n_processed = base + n
+            batch = self._batch
+            i = self._batch_i
+            self._batch = []
+            self._batch_i = 0
+            self._batch_epoch = -1
+            if i < len(batch):
+                # run() exited mid-bucket (until cut, max_events, or a
+                # propagating failure): push the undispatched tail back
+                # into the wheel/far heap so the queue stays consistent
+                # and a later run() resumes exactly where this one stopped.
+                for entry in batch[i:]:
+                    epoch = int(entry[0] * _INV_WIDTH)
+                    if self._cur_epoch <= epoch < self._wheel_end:
+                        self._buckets[epoch & _MASK].append(entry)
+                        self._n_wheel += 1
+                    else:
+                        heappush(self._far, entry)
             self._running = False
+
+    def _livelock_report(self, limit: int) -> str:
+        """Diagnostic for the max_events backstop: where/what is queued."""
+        batch = self._batch
+        pending = (
+            len(self._now_q)
+            + (len(batch) - self._batch_i)
+            + self._n_wheel
+            + len(self._far)
+        )
+        heads = [
+            f"(t={self._now:g}, {item!r})" for item in islice(self._now_q, 3)
+        ]
+        for entry in batch[self._batch_i : self._batch_i + 3 - len(heads)]:
+            heads.append(f"(t={entry[0]:g}, {entry[2]!r})")
+        return (
+            f"exceeded max_events={limit} at t={self._now:g}us with "
+            f"{pending} entries still queued (likely a livelock); next up: "
+            f"{', '.join(heads) if heads else 'n/a'}"
+        )
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Convenience: spawn ``gen``, run to completion, return its value."""
@@ -554,4 +1034,20 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled item, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        if self._now_q:
+            return self._now
+        batch = self._batch
+        if self._batch_i < len(batch):
+            return float(batch[self._batch_i][0])
+        best = _INF
+        if self._n_wheel:
+            e = self._cur_epoch
+            while True:
+                slot = self._buckets[e & _MASK]
+                if slot:
+                    best = min(entry[0] for entry in slot)
+                    break
+                e += 1
+        if self._far and self._far[0][0] < best:
+            best = self._far[0][0]
+        return best
