@@ -133,6 +133,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "standalone repro snippet")
     chaos.add_argument("--json", default=None, metavar="PATH",
                        help="also write the full sweep report as JSON")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="hunt hash- and order-nondeterminism: forced hash "
+             "randomization, a de-coalesced kernel, and intra-timestamp "
+             "shaking (opt-in; normal runs never take these paths)")
+    sanitize.add_argument("--figures", action="store_true",
+                          help="byte-compare `repro figures --quick` across "
+                               "hash seeds and under the no-coalesce kernel")
+    sanitize.add_argument("--chaos", action="store_true",
+                          help="byte-compare `repro chaos --seed N --quick` "
+                               "the same way")
+    sanitize.add_argument("--seed", type=int, default=42,
+                          help="chaos schedule seed for --chaos "
+                               "(default: 42, the CI pin)")
+    sanitize.add_argument("--storm", action="store_true",
+                          help="fingerprint the in-process completion-storm "
+                               "workload across every sanitize config "
+                               "(default when no target is given)")
+    sanitize.add_argument("--hash-seeds", type=int, default=3,
+                          dest="hash_seeds", metavar="K",
+                          help="how many PYTHONHASHSEED values to sweep "
+                               "(default: 3)")
     return parser
 
 
@@ -422,6 +445,119 @@ def _chaos(args, out) -> int:
     return 0 if failing == 0 else 1
 
 
+def _sanitize(args, out) -> int:
+    """Determinism-sanitizer driver (see ``repro.sim.sanitizer``).
+
+    The subprocess harness lives here (not in ``repro.sim``) because the
+    scheduling core is forbidden from blocking I/O by NM401; the CLI layer
+    is the sanctioned place to fork children and compare bytes.
+
+    Every invocation first runs the **self-test**: the two planted
+    nondeterminism fixtures in ``repro.sim._sanitize_fixtures`` must be
+    *detected* (their output must vary under the sanitizer), proving the
+    detector detects before any "no difference found" result is trusted.
+    """
+    import os
+    import subprocess
+
+    from repro.sim._sanitize_fixtures import batch_order_engine
+    from repro.sim.sanitizer import (
+        SANITIZE_ENV,
+        SanitizeConfig,
+        storm_fingerprint,
+    )
+
+    if args.hash_seeds < 3:
+        raise SystemExit("--hash-seeds must be >= 3")
+    hash_seeds = list(range(1, args.hash_seeds + 1))
+    failures: list[str] = []
+
+    def run_child(cmd: list[str], hash_seed: int, spec: str = "") -> bytes:
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = str(hash_seed)
+        if spec:
+            env[SANITIZE_ENV] = spec
+        else:
+            env.pop(SANITIZE_ENV, None)
+        proc = subprocess.run([sys.executable, *cmd],
+                              capture_output=True, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"sanitize child {cmd} (PYTHONHASHSEED={hash_seed}, "
+                f"{SANITIZE_ENV}={spec or '<unset>'}) exited "
+                f"{proc.returncode}:\n{proc.stderr.decode(errors='replace')}")
+        return proc.stdout
+
+    # -- self-test: both planted fixtures must be DETECTED --------------------
+    fixture_cmd = ["-c", "from repro.sim._sanitize_fixtures import "
+                         "hash_order_engine; print(hash_order_engine())"]
+    hash_outputs = {run_child(fixture_cmd, s) for s in hash_seeds}
+    if len(hash_outputs) > 1:
+        _print(out, f"selftest: hash-order fixture DETECTED "
+                    f"({len(hash_outputs)} distinct outputs over "
+                    f"{len(hash_seeds)} hash seeds)")
+    else:
+        failures.append("hash-order fixture NOT detected: output identical "
+                        "across hash seeds (is hash randomization off?)")
+    batch_outputs = {batch_order_engine(SanitizeConfig(shake_seed=s))
+                     for s in (1, 2, 3)}
+    batch_outputs.add(batch_order_engine(None))
+    if len(batch_outputs) > 1:
+        _print(out, f"selftest: batch-order fixture DETECTED "
+                    f"({len(batch_outputs)} distinct dispatch orders "
+                    f"under shaking)")
+    else:
+        failures.append("batch-order fixture NOT detected: intra-timestamp "
+                        "shaking changed nothing (is the shake hook dead?)")
+
+    # -- byte-equivalence sweeps ----------------------------------------------
+    targets: list[tuple[str, list[str]]] = []
+    if args.figures:
+        targets.append(("figures", ["-m", "repro", "figures", "--quick"]))
+    if args.chaos:
+        targets.append(("chaos", ["-m", "repro", "chaos",
+                                  "--seed", str(args.seed), "--quick"]))
+    for label, cmd in targets:
+        baseline = run_child(cmd, hash_seeds[0])
+        for s in hash_seeds[1:]:
+            if run_child(cmd, s) != baseline:
+                failures.append(f"{label}: output differs between "
+                                f"PYTHONHASHSEED={hash_seeds[0]} and {s} "
+                                "(hash-order dependence)")
+        if run_child(cmd, hash_seeds[0], spec="nocoalesce") != baseline:
+            failures.append(f"{label}: output differs under the "
+                            "no-coalesce kernel (a coalescing guard is "
+                            "not order-equivalent)")
+        if not any(f.startswith(label + ":") for f in failures):
+            _print(out, f"{label}: byte-identical over {len(hash_seeds)} "
+                        f"hash seeds + no-coalesce kernel")
+
+    # -- in-process storm fingerprints ----------------------------------------
+    if args.storm or not targets:
+        configs: list[tuple[str, SanitizeConfig | None]] = [
+            ("default", None),
+            ("nocoalesce", SanitizeConfig(no_coalesce=True)),
+            ("shake:1", SanitizeConfig(shake_seed=1)),
+            ("shake:2", SanitizeConfig(shake_seed=2)),
+            ("shake:3", SanitizeConfig(shake_seed=3)),
+        ]
+        fingerprints = {label: storm_fingerprint(cfg)
+                        for label, cfg in configs}
+        if len(set(fingerprints.values())) == 1:
+            _print(out, f"storm: fingerprint {fingerprints['default']} "
+                        f"stable across {len(configs)} kernel configs")
+        else:
+            failures.append(f"storm: fingerprints diverge across kernel "
+                            f"configs: {fingerprints}")
+
+    if failures:
+        for failure in failures:
+            _print(out, "SANITIZE FAIL: " + failure)
+        return 1
+    _print(out, "sanitize: all checks passed")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -435,6 +571,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _report(args, out)
     elif args.command == "chaos":
         return _chaos(args, out)
+    elif args.command == "sanitize":
+        return _sanitize(args, out)
     elif args.command == "perf":
         import json as _json
 

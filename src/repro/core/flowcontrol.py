@@ -338,7 +338,7 @@ class FlowControlLayer:
     def _resend(self, peer: int, item: SegItem, gen: int) -> None:
         if self.engine.halted:
             return  # halt() already zeroed the pending-resend count
-        self._pending_resends -= 1
+        self._pending_resends -= 1  # nm: allow[NM503] -- the timer itself fired; its pending-count decrement is epoch-independent
         st = self._peer(peer)
         if gen != st.resend_gen:
             # The peer died (or restarted) while this resend waited out its

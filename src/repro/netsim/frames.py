@@ -23,7 +23,6 @@ class FrameKind:
     RDV_REQ = "rdv_req"    # rendezvous request (control)
     RDV_ACK = "rdv_ack"    # rendezvous acknowledgement (control)
     RDV_DATA = "rdv_data"  # rendezvous bulk data (zero-copy / RDMA path)
-    CTRL = "ctrl"          # other control traffic
     REL_ACK = "rel_ack"    # standalone reliability-layer acknowledgement
     CREDIT = "credit"      # standalone flow-control credit grant
     NACK = "nack"          # receiver refused an eager segment (overflow)

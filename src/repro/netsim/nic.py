@@ -276,11 +276,17 @@ class Nic:
         self._rx_mark = sim.mark()
 
     def _handle_batch(self, frames: list[Frame], gen: int) -> None:
+        if gen != self._gen:
+            # Card crashed between arrival and handler dispatch: the whole
+            # batch belongs to the dead incarnation.
+            if self._rx_batch is frames:
+                self._rx_batch = None
+            return
         if self._rx_batch is frames:
             self._rx_batch = None  # no appends once dispatch has begun
         for frame in frames:
             if gen != self._gen:
-                return  # card crashed between arrival and handler dispatch
+                return  # card crashed mid-batch (a handler can kill the card)
             self.frames_received += 1
             self.bytes_received += frame.wire_size
             self.tracer.emit(self.sim.now, self.name, "rx_done",

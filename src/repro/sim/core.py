@@ -56,7 +56,10 @@ from itertools import islice
 
 from typing import Any
 
+from random import Random
+
 from repro.errors import ProgressStallError, SimulationError
+from repro.sim.sanitizer import SanitizeConfig, active_sanitizer, shake_slot
 
 #: Event/Timeout freelist recycling relies on CPython reference counts to
 #: prove no condition, process, or user closure still holds the object.
@@ -494,7 +497,22 @@ class Simulator:
     the representation changed, the contract did not.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: SanitizeConfig | None = None) -> None:
+        # Determinism-sanitizer mode (see repro.sim.sanitizer): default-off,
+        # falls back to the REPRO_SANITIZE environment variable so subprocess
+        # harnesses can arm it without threading a parameter through every
+        # experiment entry point.  The hooks live on cold paths only (mark,
+        # schedule_batch, slot refill) — the inlined hot push paths are
+        # untouched either way.
+        if sanitize is None:
+            sanitize = active_sanitizer()
+        self._sanitize = sanitize
+        self._no_coalesce = sanitize is not None and sanitize.no_coalesce
+        self._shake_rng = (
+            Random(sanitize.shake_seed)
+            if sanitize is not None and sanitize.shake_seed is not None
+            else None
+        )
         self._now = 0.0
         self._seq = 0
         self._running = False
@@ -683,6 +701,13 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         if not fns:
             return
+        if self._no_coalesce:
+            # Sanitizer: exercise the documented equivalence — a batch IS
+            # its consecutive individual pushes; any observable difference
+            # is a kernel or caller bug the sanitize run exists to catch.
+            for fn in fns:
+                self.schedule(delay, fn)
+            return
         self._seq = seq = self._seq + 1
         t = self._now + delay
         if t <= self._now:
@@ -696,7 +721,13 @@ class Simulator:
         Two equal marks prove no occurrence was scheduled in between; the
         netsim layers use this to coalesce adjacent same-timestamp
         completions into one batched dispatch without reordering anything.
+
+        Under the ``no_coalesce`` sanitizer every call returns a *fresh*
+        stamp, so no two marks ever compare equal and each mark-guarded
+        fast path is forced onto its (claimed-equivalent) slow path.
         """
+        if self._no_coalesce:
+            self._seq += 1
         return self._seq
 
     def _schedule_event(self, delay: float, event: Event) -> None:
@@ -809,6 +840,10 @@ class Simulator:
         while far and int(far[0][0] * _INV_WIDTH) == e:
             slot.append(heappop(far))
         slot.sort()
+        if self._shake_rng is not None and len(slot) > 1:
+            # Sanitizer: permute equal-timestamp runs so handlers that
+            # depend on intra-timestamp arrival order betray themselves.
+            shake_slot(slot, self._shake_rng)
         self._batch = slot
         self._batch_i = 0
         self._batch_epoch = e

@@ -1,0 +1,27 @@
+# nm-path: repro/core/fixture_alias.py
+"""Fixture: NM103 through intermediate variables (the old blind spot)."""
+
+_MODULE_PEERS = frozenset({"a", "b", "c"})
+
+
+def intermediate_variable(peers):
+    s = set(peers)
+    for p in s:  # NM103: s holds a set
+        sink(p)
+
+
+def alias_of_alias(peers):
+    s = set(peers)
+    t = s
+    for p in t:  # NM103: aliasing does not fix the order
+        sink(p)
+
+
+def module_level_set():
+    for p in _MODULE_PEERS:  # NM103: module-scope name holds a set
+        sink(p)
+
+
+def comprehension_over_alias(peers):
+    s = {p for p in sorted(peers)}
+    return [p.upper() for p in s]  # NM103: comprehension over a set name

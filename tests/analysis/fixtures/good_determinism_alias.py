@@ -1,0 +1,32 @@
+# nm-path: repro/core/fixture_alias.py
+"""Fixture: legal uses of set-bound names — membership, sorted, rebinding."""
+
+_MODULE_PEERS = frozenset({"a", "b", "c"})
+
+
+def membership_is_order_free(peers, p):
+    s = set(peers)
+    return p in s  # membership never observes iteration order
+
+
+def sorted_fixes_the_order(peers):
+    s = set(peers)
+    for p in sorted(s):
+        sink(p)
+
+
+def rebinding_clears_the_mark(peers):
+    s = set(peers)
+    s = sorted(s)  # now a list with a fixed order
+    for p in s:
+        sink(p)
+
+
+def shadowing_is_scoped(peers):
+    _MODULE_PEERS = sorted(peers)  # local shadows the module-level set
+    for p in _MODULE_PEERS:
+        sink(p)
+
+
+def module_membership(p):
+    return p in _MODULE_PEERS

@@ -1,0 +1,12 @@
+# nm-path: repro/core/fixture_helpers.py
+"""Fixture: the helper that actually performs the mutation (one hop)."""
+
+
+def drain_queue(queue):
+    while queue:
+        queue.pop()
+
+
+def forwarding_helper(queue):
+    # Two-hop chain: the fixpoint summary must mark this param as mutated.
+    drain_queue(queue)

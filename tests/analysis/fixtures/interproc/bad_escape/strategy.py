@@ -1,0 +1,30 @@
+# nm-path: repro/core/strategies/evil.py
+"""Fixture: every NM501 escape shape — alias, subscript, helper chain."""
+
+from repro.core.fixture_helpers import drain_queue, forwarding_helper  # noqa: F401
+
+
+def direct_method_mutation(win):
+    win._common.append("item")  # NM501: mutating call on another's field
+
+
+def alias_then_mutate(win):
+    q = win._common
+    q.pop()  # NM501: the alias does not transfer ownership
+
+
+def subscript_store(win, dest, item):
+    win._by_dest[dest] = item  # NM501: subscript store through the field
+
+
+def helper_chain(win):
+    drain_queue(win._common)  # NM501: cross-module helper does the pop
+
+
+def alias_into_helper(win):
+    q = win._by_dest
+    drain_queue(q)  # NM501: aliased field forwarded to a mutator
+
+
+def two_hop_chain(win):
+    forwarding_helper(win._common)  # NM501: fixpoint chain through 2 hops

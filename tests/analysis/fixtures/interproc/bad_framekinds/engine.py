@@ -1,0 +1,28 @@
+# nm-path: repro/core/fixture_engine.py
+"""Fixture: engine side with full evidence for DATA, none for the rest."""
+
+from repro.netsim.fixture_frames import Frame, FrameKind
+
+
+class FixtureEngine:
+    def send_data(self, dst, payload_bytes):
+        hdr = self.params.hdr
+        frame = Frame(
+            kind=FrameKind.DATA,
+            wire_size=hdr.global_header + payload_bytes,
+        )
+        self.stats.phys_packets += 1
+        self.nic.send(frame, dst)
+
+    def send_heartbeat(self, dst):
+        # NM502 on the registry: wire_size carries no header accounting
+        # and no stats counter is bumped for a heartbeat producer.
+        frame = Frame(kind=FrameKind.HEARTBEAT, wire_size=64)
+        self.nic.send(frame, dst)
+
+    def on_frame(self, frame):
+        if frame.kind == FrameKind.DATA:
+            return self.deliver(frame)
+        if frame.kind == "phantom":  # NM502: dispatch on unregistered kind
+            return None
+        return None

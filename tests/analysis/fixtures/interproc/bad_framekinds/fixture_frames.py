@@ -1,0 +1,13 @@
+# nm-path: repro/netsim/fixture_frames.py
+"""Fixture: a frame-kind registry with a dead entry.
+
+The virtual path is *not* ``repro/netsim/frames.py``, so the
+lifecycle-mirror coherence check stays out of the way and only the
+evidence checks run against this registry.
+"""
+
+
+class FrameKind:
+    DATA = "data"
+    HEARTBEAT = "heartbeat"
+    GHOST = "ghost"  # NM502: registered but no handler/producer anywhere

@@ -1,0 +1,21 @@
+# nm-path: repro/core/fixture_transfer.py
+"""Fixture: a raise between paired counter bumps leaves stats unbalanced."""
+
+
+class UnbalancedLayer:
+    def aggregate(self, items):
+        try:
+            self.stats.aggregated_packets += 1  # NM504: partner skippable
+            if not items:
+                raise ValueError("empty aggregate")
+            self.stats.aggregated_segments += len(items)
+        except ValueError:
+            self.park(items)
+
+    def copy_in(self, frame):
+        try:
+            self.stats.recv_copies += 1  # NM504: no partner bump at all
+            self.buffer.write(self.decode(frame))
+            raise RuntimeError("decode always fails here")
+        finally:
+            self.cleanup()

@@ -1,0 +1,24 @@
+# nm-path: repro/core/fixture_timers.py
+"""Fixture: armed callbacks that touch state before their gen guard."""
+
+
+class LeakyLayer:
+    def arm_retry(self, peer, item):
+        st = self.peers[peer]
+        gen = st.retry_gen
+        self.sim.schedule(10.0, lambda: self._retry(peer, item, gen))
+
+    def _retry(self, peer, item, gen):
+        self.retries += 1  # NM503: write before the generation guard
+        st = self.peers[peer]
+        if gen != st.retry_gen:
+            return
+        self.send(item)
+
+    def arm_probe(self):
+        gen = self._gen
+        self.sim.schedule_batch(5.0, [lambda: self._probe(gen)])
+
+    def _probe(self, gen):
+        self.emit_probe()  # NM503: method call, and no guard exists at all
+        self.probes += 1

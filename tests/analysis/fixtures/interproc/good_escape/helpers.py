@@ -1,0 +1,9 @@
+# nm-path: repro/core/fixture_helpers.py
+"""Fixture: a read-only helper (its mutation summary must stay empty)."""
+
+
+def count_items(queue):
+    total = 0
+    for _item in queue:
+        total += 1
+    return total

@@ -1,0 +1,34 @@
+# nm-path: repro/core/strategies/polite.py
+"""Fixture: legal interactions with owned fields — reads, APIs, own state."""
+
+from repro.core.fixture_helpers import count_items  # noqa: F401
+
+
+def read_only(win):
+    return len(win._common)  # reading is not mutating
+
+
+def iterate_sorted(win):
+    return [item for item in sorted(win._by_dest)]
+
+
+def through_owner_api(win, item):
+    win.push(item)  # the owner's mutator method is the sanctioned path
+
+
+def read_only_helper(win):
+    return count_items(win._common)  # helper only reads; summary is empty
+
+
+def local_copy(win):
+    mine = list(win._common)  # a copy is a fresh object, not an alias
+    mine.append("x")
+    return mine
+
+
+class OwnState:
+    def __init__(self):
+        self._common = []
+
+    def mutate_own(self):
+        self._common.append("x")  # self-access is exempt, as in NM201

@@ -1,0 +1,36 @@
+# nm-path: repro/core/fixture_engine.py
+"""Fixture: complete evidence — demux, producers, headers, stats.
+
+``send_any`` takes the kind as a *parameter*; the rule must resolve the
+kinds flowing into it from its call sites (the ``_send_session_frame``
+pattern in the real tree).
+"""
+
+from repro.netsim.fixture_frames import Frame, FrameKind
+
+_LIVENESS_KINDS = frozenset({FrameKind.HEARTBEAT})
+
+
+class FixtureEngine:
+    def send_any(self, dst, kind, payload_bytes):
+        hdr = self.params.hdr
+        size = hdr.global_header + payload_bytes
+        frame = Frame(kind=kind, wire_size=size)
+        if kind == FrameKind.DATA:
+            self.stats.phys_packets += 1
+        else:
+            self.stats.heartbeats_sent += 1
+        self.nic.send(frame, dst)
+
+    def send_data(self, dst, payload_bytes):
+        self.send_any(dst, FrameKind.DATA, payload_bytes)
+
+    def send_heartbeat(self, dst):
+        self.send_any(dst, FrameKind.HEARTBEAT, 0)
+
+    def on_frame(self, frame):
+        if frame.kind == FrameKind.DATA:
+            return self.deliver(frame)
+        if frame.kind in _LIVENESS_KINDS:
+            return self.note_alive(frame)
+        return None

@@ -1,0 +1,7 @@
+# nm-path: repro/netsim/fixture_frames.py
+"""Fixture: a small registry whose every kind has complete evidence."""
+
+
+class FrameKind:
+    DATA = "data"
+    HEARTBEAT = "heartbeat"

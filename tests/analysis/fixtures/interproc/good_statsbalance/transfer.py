@@ -1,0 +1,31 @@
+# nm-path: repro/core/fixture_transfer.py
+"""Fixture: balanced shapes — adjacent bumps, raise-first, finally rebalance."""
+
+
+class BalancedLayer:
+    def aggregate(self, items):
+        try:
+            if not items:
+                raise ValueError("empty aggregate")  # raise before any bump
+            self.stats.aggregated_packets += 1
+            self.stats.aggregated_segments += len(items)  # adjacent partner
+            self.flush(items)
+        except ValueError:
+            self.park(items)
+
+    def copy_in(self, frame):
+        try:
+            self.stats.recv_copies += 1
+            data = self.decode(frame)
+            if data is None:
+                raise RuntimeError("undecodable frame")
+        finally:
+            # The partner lands in finally, so every path stays balanced.
+            self.stats.recv_copy_bytes += frame.wire_size
+
+    def unpaired_counter_is_free(self, frame):
+        try:
+            self.stats.phys_packets += 1  # not a paired counter
+            raise RuntimeError("irrelevant to NM504")
+        except RuntimeError:
+            pass

@@ -1,0 +1,40 @@
+# nm-path: repro/core/fixture_timers.py
+"""Fixture: the conforming shapes — guard first, reads before are fine."""
+
+
+class GuardedLayer:
+    def arm_retry(self, peer, item):
+        st = self.peers[peer]
+        gen = st.retry_gen
+        self.sim.schedule(10.0, lambda: self._retry(peer, item, gen))
+
+    def _retry(self, peer, item, gen):
+        """Docstring, local reads, and a read-only conditional are legal."""
+        st = self.peers[peer]
+        halted = self.engine.halted
+        if halted:
+            return
+        if gen != st.retry_gen:
+            return  # stale epoch: the guard comes before any write
+        self.retries += 1
+        self.send(item)
+
+    def arm_probe(self):
+        gen = self._gen
+        self.sim.schedule_batch(5.0, [lambda: self._probe(gen)])
+
+    def _probe(self, gen):
+        if gen == self._gen:
+            self.probes += 1  # anything inside the guard body is fine
+            self.emit_probe()
+
+    def arm_plain(self, item):
+        # No generation captured: the rule does not apply to this timer.
+        self.sim.schedule(1.0, lambda: self.send(item))
+
+    def pure_callback_needs_no_guard(self):
+        gen = self._gen
+        self.sim.schedule(2.0, lambda: self._observe(gen))
+
+    def _observe(self, gen):
+        return gen  # touches nothing, so no guard is required

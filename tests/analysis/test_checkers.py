@@ -34,6 +34,21 @@ def test_good_determinism_is_clean():
     assert report.ok, codes_of(report)
 
 
+def test_bad_determinism_alias_trips_on_every_indirection():
+    # The PR-8 blind-spot fix: sets reached through an intermediate name.
+    report = run_fixture("bad_determinism_alias.py")
+    assert codes_of(report) == ["NM103"] * 4
+    messages = "\n".join(v.message for v in report.violations)
+    assert "'s'" in messages
+    assert "'t'" in messages
+    assert "'_MODULE_PEERS'" in messages
+
+
+def test_good_determinism_alias_is_clean():
+    report = run_fixture("good_determinism_alias.py")
+    assert report.ok, codes_of(report)
+
+
 # -- counter pairing (NM2xx) --------------------------------------------------
 
 def test_bad_counters_trips_write_shadow_and_strategy_bump():

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -90,8 +91,44 @@ def test_cli_list_describes_every_code(capsys):
     out = capsys.readouterr().out
     for code in ("NM000", "NM001", "NM101", "NM102", "NM103", "NM201",
                  "NM202", "NM203", "NM204", "NM301", "NM302", "NM303",
-                 "NM401"):
+                 "NM401", "NM501", "NM502", "NM503", "NM504"):
         assert code in out
+
+
+def test_cli_json_output_matches_the_schema(capsys):
+    rc = main(["--json", str(FIXTURES / "bad_determinism.py")])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {"violations", "suppressed_count", "files_checked"}
+    assert payload["files_checked"] == 1
+    assert isinstance(payload["suppressed_count"], int)
+    assert payload["violations"], "the bad fixture must produce findings"
+    for finding in payload["violations"]:
+        assert set(finding) == {"code", "path", "line", "col", "message",
+                                "checker"}
+        assert finding["code"].startswith("NM")
+        assert isinstance(finding["line"], int)
+        assert isinstance(finding["col"], int)
+    codes = [f["code"] for f in payload["violations"]]
+    assert codes == sorted(codes) or len(set(codes)) > 1  # stable ordering
+    # sorted(report.violations) orders by (path, line, col): assert exactly.
+    keys = [(f["path"], f["line"], f["col"]) for f in payload["violations"]]
+    assert keys == sorted(keys)
+
+
+def test_cli_json_clean_tree_is_empty_and_exits_zero(capsys):
+    rc = main(["--json", str(FIXTURES / "good_determinism.py")])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"] == []
+
+
+def test_cli_json_with_interprocedural_includes_nm5xx(capsys):
+    rc = main(["--json", "--interprocedural",
+               str(FIXTURES / "interproc" / "bad_timers")])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert any(f["code"] == "NM503" for f in payload["violations"])
 
 
 def test_cli_subprocess_roundtrip():

@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from tools.analysis.engine import ALL_CHECKERS, ENGINE_CODES, check_paths
+from tools.analysis.interproc import INTERPROC_CHECKERS
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -36,7 +37,7 @@ def test_checker_codes_are_unique_across_the_pass():
     seen: dict[str, str] = {}
     for code in ENGINE_CODES:
         seen[code] = "engine"
-    for cls in ALL_CHECKERS:
+    for cls in (*ALL_CHECKERS, *INTERPROC_CHECKERS):
         for code in cls.codes:
             assert code not in seen, f"{code} declared by both " \
                 f"{seen[code]} and {cls.name}"

@@ -1,0 +1,73 @@
+"""Suppression budget: `# nm: allow[...]` markers may not silently grow.
+
+Every suppression is a hole punched in the invariant pass.  This meta-test
+pins the per-code count to ``suppression_baseline.json``; adding a new
+suppression forces the author to bump the baseline in the same commit —
+i.e. to make the hole visible in review — and removing one forces the
+baseline back down so the budget never quietly accumulates slack.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from pathlib import Path
+
+from tools.analysis.engine import iter_python_files
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = Path(__file__).parent / "suppression_baseline.json"
+
+_ALLOW_RE = re.compile(r"#\s*nm:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+def count_suppressions(root: Path) -> Counter[str]:
+    counts: Counter[str] = Counter()
+    for path in iter_python_files([str(root)]):
+        source = Path(path).read_text(encoding="utf-8")
+        for match in _ALLOW_RE.finditer(source):
+            for code in match.group(1).split(","):
+                counts[code.strip()] += 1
+    return counts
+
+
+def test_suppression_counts_match_the_baseline():
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    actual = count_suppressions(REPO_ROOT / "src" / "repro")
+    assert dict(actual) == baseline, (
+        "suppression budget drifted.\n"
+        f"  baseline: {baseline}\n"
+        f"  actual:   {dict(actual)}\n"
+        "New suppression? Justify it in review and update "
+        "tests/analysis/suppression_baseline.json in the same commit. "
+        "Removed one? Lower the baseline so the budget stays tight."
+    )
+
+
+def test_baseline_is_sorted_and_minimal():
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    assert list(baseline) == sorted(baseline), "keep the baseline sorted"
+    assert all(n > 0 for n in baseline.values()), \
+        "zero-count entries must be dropped, not kept as placeholders"
+
+
+def test_every_baselined_suppression_is_actually_applied():
+    # A marker the engine never honours (wrong line, dead file) would count
+    # here but silence nothing; cross-check against the engine's view.
+    from tools.analysis.engine import check_paths
+    from tools.analysis.interproc import check_project
+
+    per_file = check_paths([str(REPO_ROOT / "src" / "repro")],
+                           root=str(REPO_ROOT))
+    interproc = check_project([str(REPO_ROOT / "src" / "repro")],
+                              root=str(REPO_ROOT))
+    honoured = Counter(s.code for s in per_file.suppressed)
+    honoured.update(s.code for s in interproc.suppressed)
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    for code, count in baseline.items():
+        assert honoured[code] >= count, (
+            f"{code}: baseline says {count} suppression(s) but the engine "
+            f"only honoured {honoured[code]} — a marker is dead or "
+            "mis-placed"
+        )

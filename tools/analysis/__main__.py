@@ -3,9 +3,29 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from tools.analysis.engine import check_paths, describe_checkers
+from tools.analysis.engine import Report, check_paths, describe_checkers
+
+
+def report_to_json(report: Report) -> dict:
+    """Stable machine-readable findings (the ``--json`` payload)."""
+    return {
+        "violations": [
+            {
+                "code": v.code,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+                "checker": v.checker,
+            }
+            for v in sorted(report.violations)
+        ],
+        "suppressed_count": len(report.suppressed),
+        "files_checked": report.files_checked,
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -23,6 +43,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--show-suppressed", action="store_true",
                         help="also print findings silenced by "
                              "`# nm: allow[...]` comments")
+    parser.add_argument("--interprocedural", action="store_true",
+                        help="also run the project-wide NM5xx pass (call "
+                             "graph, alias tracking, cross-module evidence)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON object on stdout "
+                             "instead of text lines")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -30,6 +56,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     report = check_paths(args.paths or ["src/repro"])
+    if args.interprocedural:
+        from tools.analysis.interproc import check_project
+
+        # The interprocedural pass re-reads the same files into a project
+        # model; its files_checked would double-count the per-file walk.
+        inter = check_project(args.paths or ["src/repro"])
+        report.violations.extend(inter.violations)
+        report.suppressed.extend(inter.suppressed)
+
+    if args.json:
+        print(json.dumps(report_to_json(report), indent=2, sort_keys=True))
+        return 1 if report.violations else 0
+
     for violation in sorted(report.violations):
         print(violation.render())
     if args.show_suppressed:

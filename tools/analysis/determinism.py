@@ -15,8 +15,12 @@ an unseeded global RNG, or iterates a ``set`` whose order depends on
   ``random.Random(seed)`` instance is allowed — that is the supported
   pattern (see ``repro/bench/workloads.py``).
 * **NM103** — no direct iteration over a set display, ``set()`` /
-  ``frozenset()`` call, or set comprehension.  Iteration order of string
-  sets varies per process; wrap the expression in ``sorted(...)`` instead.
+  ``frozenset()`` call, or set comprehension — including through a plain
+  local or module-level name the set was assigned to first
+  (``s = set(peers); for p in s:``).  Iteration order of string sets
+  varies per process; wrap the expression in ``sorted(...)`` instead.
+  *Membership* tests (``p in s``) are order-independent and stay legal,
+  as does rebinding the name to a non-set (which clears the mark).
 """
 
 from __future__ import annotations
@@ -37,6 +41,13 @@ class DeterminismChecker(Checker):
         "NM103": "iteration over a set (hash-order dependent)",
     }
     scope = ("repro/core/", "repro/sim/", "repro/netsim/")
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        #: Scope stack mapping names to "currently bound to a set?".  A
+        #: False entry masks an outer True (a local rebind to sorted(...)
+        #: shadows a module-level set); the innermost scope wins on lookup.
+        self._set_names: list[dict[str, bool]] = [{}]
 
     # -- NM101 / NM102: imports ------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
@@ -73,6 +84,37 @@ class DeterminismChecker(Checker):
         self.generic_visit(node)
 
     # -- NM103: set iteration --------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._set_names.append({})
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track plain-name bindings of set expressions (and aliases of
+        # already-tracked names), so the intermediate-variable form of the
+        # bug (``s = set(peers); for p in s:``) is caught too.
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            self._set_names[-1][name] = self._is_set_expr(node.value) or (
+                isinstance(node.value, ast.Name)
+                and self._is_tracked(node.value.id))
+        self.generic_visit(node)
+
+    def _is_tracked(self, name: str) -> bool:
+        for scope in reversed(self._set_names):
+            if name in scope:
+                return scope[name]
+        return False
+
     def visit_For(self, node: ast.For) -> None:
         self._check_iterable(node.iter)
         self.generic_visit(node)
@@ -86,6 +128,11 @@ class DeterminismChecker(Checker):
             self.report(expr, "NM103",
                         "iterating a set: order depends on PYTHONHASHSEED; "
                         "wrap in sorted(...) to fix the order")
+        elif isinstance(expr, ast.Name) and self._is_tracked(expr.id):
+            self.report(expr, "NM103",
+                        f"iterating {expr.id!r}, which holds a set: order "
+                        "depends on PYTHONHASHSEED; wrap in sorted(...) to "
+                        "fix the order")
 
     @staticmethod
     def _is_set_expr(expr: ast.expr) -> bool:

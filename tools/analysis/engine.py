@@ -196,8 +196,16 @@ def check_paths(
     return report
 
 
-def describe_checkers(checkers: Sequence[type[Checker]] = ALL_CHECKERS) -> str:
-    """Human-readable catalogue of checkers, codes, and scopes."""
+def describe_checkers(checkers: Sequence[type[Checker]] | None = None) -> str:
+    """Human-readable catalogue of checkers, codes, and scopes.
+
+    Covers the per-file checkers AND the interprocedural (NM5xx) rules —
+    imported lazily, because the interprocedural modules import this one.
+    """
+    if checkers is None:
+        from tools.analysis.interproc import INTERPROC_CHECKERS
+
+        checkers = (*ALL_CHECKERS, *INTERPROC_CHECKERS)
     lines = []
     for cls in checkers:
         scope = ", ".join(cls.scope) if cls.scope else "whole tree"

@@ -1,0 +1,185 @@
+"""NM501: write-owner escape (interprocedural).
+
+The per-file owner rules (NM201/NM302) match *assignments to attributes*:
+``win._by_dest[d] = q`` from a strategy never matches, because the
+assignment target is a subscript; ``d = win._by_dest; d.pop(k)`` never
+matches, because the mutation happens through a local alias; and
+``helper(win._common)`` never matches if ``helper`` lives in another
+module and does the ``append`` there.  NM501 closes all three holes: an
+owned field of another layer may not be *container-mutated* outside its
+owner module, whether directly, through an alias, or through a helper
+chain (resolved via the project call graph's mutation summaries).
+
+Owner groups reuse the per-file configuration so the two passes cannot
+drift: the window's private storage, the event kernel's private state
+(both sanctioned owner modules), and every ``_WRITE_OWNERS`` field group.
+``self``-access is exempt, exactly as in NM201/NM301 — a layer may always
+mutate its *own* state; the rule is about reaching across a boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.base import Violation, is_self_access
+from tools.analysis.callgraph import (
+    MUTATING_METHODS,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    arg_to_param,
+)
+from tools.analysis.counters import WINDOW_MODULE, WINDOW_PRIVATE
+from tools.analysis.lifecycle import _WRITE_OWNERS, EVENT_MODULES, EVENT_PRIVATE
+
+#: (owner modules, owned fields, scope prefixes the rule applies to).
+#: The narrowed scopes mirror NM302: baseline models legitimately reuse
+#: engine field names for their own local state machines.
+_NM302_SCOPE = ("repro/core/", "repro/madmpi/", "repro/chaos/")
+OWNER_GROUPS: tuple[tuple[frozenset[str], frozenset[str],
+                          tuple[str, ...]], ...] = (
+    (frozenset({WINDOW_MODULE}), WINDOW_PRIVATE, ("repro/",)),
+    (EVENT_MODULES, EVENT_PRIVATE, ("repro/",)),
+    *(
+        (frozenset({owner}), fields, _NM302_SCOPE)
+        for owner, fields in sorted(_WRITE_OWNERS.items())
+    ),
+)
+
+
+class WriteOwnerEscapeRule:
+    """Container mutation of another layer's owned field (see module doc)."""
+
+    name = "escape"
+    codes = {
+        "NM501": "owned field container-mutated outside its owner module "
+                 "(directly, via an alias, or via a helper chain)",
+    }
+    scope = ("repro/",)
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.violations: list[Violation] = []
+
+    def run(self) -> list[Violation]:
+        summaries = self.project.mutation_summaries()
+        for mod in self.project.modules.values():
+            if not any(mod.path.startswith(p) for p in self.scope):
+                continue
+            for info in _functions_of(mod):
+                self._check_function(mod, info, summaries)
+        return self.violations
+
+    # -- per-function analysis ----------------------------------------------
+    def _owned_by_other(
+        self, mod: ModuleInfo, node: ast.Attribute
+    ) -> str | None:
+        """The owner module if ``node`` names a field owned elsewhere."""
+        if is_self_access(node):
+            return None
+        for owners, fields, scope in OWNER_GROUPS:
+            if node.attr not in fields or mod.path in owners:
+                continue
+            if any(mod.path.startswith(p) for p in scope):
+                return sorted(owners)[0]
+        return None
+
+    def _check_function(
+        self,
+        mod: ModuleInfo,
+        info: FunctionInfo,
+        summaries: dict[int, frozenset[int]],
+    ) -> None:
+        #: local name -> (field, owner) for ``x = other.owned_field``.
+        tainted: dict[str, tuple[str, str]] = {}
+
+        def taint_of(expr: ast.expr) -> tuple[str, str] | None:
+            if isinstance(expr, ast.Attribute):
+                owner = self._owned_by_other(mod, expr)
+                if owner is not None:
+                    return (expr.attr, owner)
+                return None
+            if isinstance(expr, ast.Name):
+                return tainted.get(expr.id)
+            return None
+
+        # ast.walk is breadth-first; taint tracking needs source order.
+        nodes = sorted(
+            ast.walk(info.node),
+            key=lambda n: (getattr(n, "lineno", 0),
+                           getattr(n, "col_offset", 0)),
+        )
+        for node in nodes:
+            # Alias creation / invalidation.
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                source = taint_of(node.value)
+                if source is not None and not isinstance(node.value, ast.Name):
+                    tainted[name] = source
+                elif isinstance(node.value, ast.Name) \
+                        and node.value.id in tainted:
+                    tainted[name] = tainted[node.value.id]
+                elif name in tainted:
+                    del tainted[name]
+            # Direct or aliased mutating method call.
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATING_METHODS:
+                hit = taint_of(node.func.value)
+                if hit is not None:
+                    field, owner = hit
+                    self._report(mod, node, field, owner,
+                                 f".{node.func.attr}() mutation")
+            # Subscript store / delete / augassign through field or alias.
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = node.targets if not isinstance(node, ast.AugAssign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        hit = taint_of(target.value)
+                        if hit is not None:
+                            field, owner = hit
+                            self._report(mod, target, field, owner,
+                                         "subscript store")
+            # Helper chain: owned field (or alias) passed to a mutator.
+            if isinstance(node, ast.Call):
+                callees = self.project.resolve_callable(mod, info.cls,
+                                                        node.func)
+                if not callees:
+                    continue
+                for i, arg in enumerate(node.args):
+                    hit = taint_of(arg)
+                    if hit is None:
+                        continue
+                    for callee in callees:
+                        pos = arg_to_param(callee, node, i)
+                        if pos is None:
+                            continue
+                        if pos in summaries.get(id(callee.node), ()):
+                            field, owner = hit
+                            self._report(
+                                mod, node, field, owner,
+                                f"helper chain via "
+                                f"{callee.module}:{callee.qualname}()")
+                            break
+
+    def _report(self, mod: ModuleInfo, node: ast.AST, field: str,
+                owner: str, how: str) -> None:
+        self.violations.append(Violation(
+            path=mod.report_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code="NM501",
+            message=f"{how} of {field!r}, owned by {owner}; mutate it "
+                    "through the owner's API (aliasing does not transfer "
+                    "ownership)",
+            checker=self.name,
+        ))
+
+
+def _functions_of(mod: ModuleInfo) -> list[FunctionInfo]:
+    out = list(mod.functions.values())
+    for methods in mod.classes.values():
+        out.extend(methods.values())
+    return out

@@ -100,7 +100,7 @@ _WRITE_OWNERS: dict[str, frozenset[str]] = {
 #: ``credit``/``nack`` frames) registers its kinds here so a typo'd kind
 #: literal cannot create a frame that every dispatcher silently ignores.
 FRAME_KINDS = frozenset({
-    "data", "rdv_req", "rdv_ack", "rdv_data", "ctrl",
+    "data", "rdv_req", "rdv_ack", "rdv_data",
     "rel_ack", "credit", "nack",
     "session_hello", "session_welcome", "heartbeat",
 })

@@ -1,0 +1,122 @@
+"""NM504: stats-balance on exception paths (interprocedural pass member).
+
+Some ``EngineStats`` counters only make sense in pairs: a report that
+shows ``aggregated_packets`` without the matching ``aggregated_segments``
+(or ``recv_copies`` without ``recv_copy_bytes``) is internally
+inconsistent, and the figure pipeline divides one by the other.  The bug
+shape is a ``try`` body that bumps the first counter, then hits a
+``raise`` before bumping the partner — the exception propagates with the
+pair out of balance.
+
+NM504 flags, per ``try`` body: counter A bumped, a ``raise`` statement
+*after* the bump (source order), and the partner B's bump either absent
+from the body or positioned after that raise — unless B is bumped in the
+``finally`` clause, which runs on every path and rebalances the pair.
+
+Approximation: source-position analysis, not path-sensitive — a raise
+inside an ``if`` counts even when the condition never co-occurs with the
+bump.  That errs towards reporting; restructure the code (bump both
+counters adjacently, or move the raise above both) or suppress with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.base import Violation
+from tools.analysis.callgraph import ModuleInfo, Project
+
+#: Counter pairs that must stay balanced on every path (checked both ways).
+STAT_PAIRS: tuple[tuple[str, str], ...] = (
+    ("aggregated_packets", "aggregated_segments"),
+    ("recv_copies", "recv_copy_bytes"),
+)
+
+_PAIRED = {a: b for a, b in STAT_PAIRS} | {b: a for a, b in STAT_PAIRS}
+
+
+class StatsBalanceRule:
+    """Paired counters must not be split by a raise inside a try body."""
+
+    name = "statsbalance"
+    codes = {
+        "NM504": "paired stats counter bumped in a try body whose partner "
+                 "is skipped by an early raise",
+    }
+    scope = ("repro/",)
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.violations: list[Violation] = []
+
+    def run(self) -> list[Violation]:
+        for mod in self.project.modules.values():
+            if not mod.path.startswith("repro/"):
+                continue
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.Try):
+                    self._check_try(mod, node)
+        return self.violations
+
+    def _check_try(self, mod: ModuleInfo, node: ast.Try) -> None:
+        bumps = _counter_bumps(node.body)
+        if not bumps:
+            return
+        raises = _raise_lines(node.body)
+        if not raises:
+            return
+        finally_safe = {attr for _line, attr in _counter_bumps(node.finalbody)}
+        lines_of: dict[str, list[int]] = {}
+        for line, attr in bumps:
+            lines_of.setdefault(attr, []).append(line)
+        for line, attr in bumps:
+            partner = _PAIRED[attr]
+            if partner in finally_safe:
+                continue
+            raise_after = min((r for r in raises if r > line), default=None)
+            if raise_after is None:
+                continue
+            partner_before = any(line < p < raise_after
+                                 for p in lines_of.get(partner, []))
+            if partner_before:
+                continue
+            self.violations.append(Violation(
+                path=mod.report_path, line=line, col=0, code="NM504",
+                message=f"stats.{attr} bumped at line {line} but the raise "
+                        f"at line {raise_after} can skip the paired "
+                        f"stats.{partner}; bump both before any raise or "
+                        "rebalance in a finally clause",
+                checker=self.name,
+            ))
+
+
+def _counter_bumps(body: list[ast.stmt]) -> list[tuple[int, str]]:
+    """(line, counter) for every paired-counter AugAssign in ``body``,
+    excluding nested function definitions (they run later, if at all)."""
+    out: list[tuple[int, str]] = []
+    for node in _walk_no_defs(body):
+        if isinstance(node, ast.AugAssign) \
+                and isinstance(node.target, ast.Attribute) \
+                and node.target.attr in _PAIRED:
+            out.append((node.lineno, node.target.attr))
+    out.sort()
+    return out
+
+
+def _raise_lines(body: list[ast.stmt]) -> list[int]:
+    return sorted(node.lineno for node in _walk_no_defs(body)
+                  if isinstance(node, ast.Raise))
+
+
+def _walk_no_defs(body: list[ast.stmt]):
+    """Walk statements without descending into nested defs/classes or
+    nested try bodies (an inner try is analyzed on its own)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda, ast.Try)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,202 @@
+"""NM503: timer-generation pairing (interprocedural).
+
+The PR 5 ghost-timer bug class: a layer arms a callback and later resets
+its state; the stale callback fires anyway and corrupts the new epoch.
+The repo-wide idiom that prevents it is *generation capture*::
+
+    gen = st.resend_gen                       # capture the epoch
+    self.sim.schedule(d, lambda: self._resend(peer, item, gen))
+
+    def _resend(self, peer, item, gen):
+        if gen != st.resend_gen:              # guard FIRST
+            return
+        ...                                   # only now touch state
+
+NM503 verifies the second half across module boundaries: any callback
+armed via ``schedule``/``schedule_batch`` whose lambda passes a captured
+``*_gen`` value must compare that parameter against a generation field
+*before* any observable write (attribute/subscript store, augmented
+assignment, or method call on an attribute).  Reads, plain local
+assignments, and read-only conditionals before the guard are fine.
+
+Known approximations: only ``lambda: callee(...)`` arming sites are
+analyzed (the repo has no other shape); gen capture is recognized for
+plain locals assigned from a ``gen``/``*_gen`` attribute; a call site
+whose callee cannot be resolved in the project is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.base import Violation
+from tools.analysis.callgraph import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    arg_to_param,
+    kwarg_to_param,
+)
+
+SCHEDULE_METHODS = frozenset({"schedule", "schedule_batch"})
+
+
+def _is_gen_attr(name: str) -> bool:
+    return name == "gen" or name.endswith("_gen")
+
+
+class TimerGenRule:
+    """Armed callbacks capturing a generation must guard on it first."""
+
+    name = "timers"
+    codes = {
+        "NM503": "callback armed with a captured generation touches state "
+                 "before comparing the generation",
+    }
+    scope = ("repro/",)
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.violations: list[Violation] = []
+        #: Callees already judged, to avoid duplicate reports per arm site.
+        self._judged: set[tuple[int, str]] = set()
+
+    def run(self) -> list[Violation]:
+        for mod in self.project.modules.values():
+            if not mod.path.startswith("repro/"):
+                continue
+            for info in _functions_of(mod):
+                self._check_arming_function(mod, info)
+        return self.violations
+
+    # -- arm-site discovery ---------------------------------------------------
+    def _check_arming_function(
+        self, mod: ModuleInfo, info: FunctionInfo
+    ) -> None:
+        #: plain locals assigned from a gen-suffixed attribute, in order.
+        gen_locals: set[str] = set()
+        nodes = sorted(
+            ast.walk(info.node),
+            key=lambda n: (getattr(n, "lineno", 0),
+                           getattr(n, "col_offset", 0)),
+        )
+        for node in nodes:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id
+                if isinstance(node.value, ast.Attribute) \
+                        and _is_gen_attr(node.value.attr):
+                    gen_locals.add(name)
+                else:
+                    gen_locals.discard(name)
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in SCHEDULE_METHODS:
+                for arg in ast.walk(node):
+                    if isinstance(arg, ast.Lambda):
+                        self._check_armed_lambda(mod, info, arg, gen_locals)
+
+    def _check_armed_lambda(
+        self,
+        mod: ModuleInfo,
+        info: FunctionInfo,
+        lam: ast.Lambda,
+        gen_locals: set[str],
+    ) -> None:
+        if not isinstance(lam.body, ast.Call):
+            return
+        call = lam.body
+        gen_positions: list[tuple[int | None, str | None]] = []
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name) and arg.id in gen_locals:
+                gen_positions.append((i, None))
+        for kw in call.keywords:
+            if isinstance(kw.value, ast.Name) and kw.value.id in gen_locals \
+                    and kw.arg is not None:
+                gen_positions.append((None, kw.arg))
+        if not gen_positions:
+            return
+        for callee in self.project.resolve_callable(mod, info.cls, call.func):
+            for arg_idx, kw_name in gen_positions:
+                if kw_name is not None:
+                    param_idx = kwarg_to_param(callee, kw_name)
+                else:
+                    assert arg_idx is not None
+                    param_idx = arg_to_param(callee, call, arg_idx)
+                if param_idx is None or param_idx >= len(callee.params):
+                    continue
+                param = callee.params[param_idx]
+                key = (id(callee.node), param)
+                if key in self._judged:
+                    continue
+                self._judged.add(key)
+                self._check_callee(callee, param)
+
+    # -- callee guard scan ----------------------------------------------------
+    def _check_callee(self, callee: FunctionInfo, param: str) -> None:
+        mod = self.project.modules[callee.module]
+        for stmt in callee.node.body:
+            if self._is_guard(stmt, param):
+                return
+            effect = _first_effect(stmt)
+            if effect is not None:
+                kind, node = effect
+                self.violations.append(Violation(
+                    path=mod.report_path,
+                    line=getattr(node, "lineno", stmt.lineno),
+                    col=getattr(node, "col_offset", 0),
+                    code="NM503",
+                    message=f"{callee.qualname}() receives generation "
+                            f"{param!r} from an armed timer but performs "
+                            f"{kind} before comparing it; a stale callback "
+                            "can corrupt the current epoch",
+                    checker=self.name,
+                ))
+                return
+
+    def _is_guard(self, stmt: ast.stmt, param: str) -> bool:
+        """An ``if`` comparing the gen param against a generation field."""
+        if not isinstance(stmt, ast.If):
+            return False
+        reads_param = any(isinstance(n, ast.Name) and n.id == param
+                          for n in ast.walk(stmt.test))
+        reads_gen_attr = any(isinstance(n, ast.Attribute)
+                             and _is_gen_attr(n.attr)
+                             for n in ast.walk(stmt.test))
+        return reads_param and reads_gen_attr
+
+
+def _first_effect(stmt: ast.stmt) -> tuple[str, ast.AST] | None:
+    """The first observable write inside ``stmt``, if any.
+
+    Docstrings, plain local assignments and attribute *reads* are not
+    effects; attribute/subscript stores, augmented assignments, deletes
+    of attributes/subscripts, and method calls on attributes are.
+    """
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return None
+    for node in sorted(ast.walk(stmt),
+                       key=lambda n: (getattr(n, "lineno", 0),
+                                      getattr(n, "col_offset", 0))):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return ("an attribute/subscript store", target)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                return ("an augmented attribute store", node.target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    return ("an attribute/subscript delete", target)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute):
+            return ("a method call", node)
+    return None
+
+
+def _functions_of(mod: ModuleInfo) -> list[FunctionInfo]:
+    out = list(mod.functions.values())
+    for methods in mod.classes.values():
+        out.extend(methods.values())
+    return out
