@@ -23,7 +23,7 @@ from repro.baselines import (
 from repro.core import EngineParams, NmadEngine
 from repro.errors import ReproError
 from repro.madmpi import Communicator, MadMpi
-from repro.netsim import Cluster, NicProfile
+from repro.netsim import Cluster, NicProfile, TopologySpec
 from repro.sim import Simulator, Tracer
 
 __all__ = ["BackendPair", "make_backend_pair", "BACKENDS", "backend_label"]
@@ -78,10 +78,17 @@ def make_backend_pair(
     strategy: str = "aggregation",
     engine_params: EngineParams | None = None,
     tracer: Tracer | None = None,
+    topology: str | TopologySpec = "mesh",
 ) -> BackendPair:
-    """Build a fresh two-node simulation running ``backend`` on ``rails``."""
+    """Build a fresh two-node simulation running ``backend`` on ``rails``.
+
+    ``topology`` defaults to the paper-faithful flat mesh; pass
+    ``"fat-tree"``/``"dragonfly"`` (or a built spec) to route the pair's
+    traffic through a switched fabric instead.
+    """
     sim = Simulator()
-    cluster = Cluster(sim, n_nodes=2, rails=tuple(rails), tracer=tracer)
+    cluster = Cluster(sim, n_nodes=2, rails=tuple(rails), tracer=tracer,
+                      topology=topology)
     world = Communicator([0, 1])
     tech = rails[0].tech
     if backend == "madmpi" or backend == "madmpi-fifo":

@@ -32,8 +32,10 @@ from repro.chaos.schedule import ChaosFault, ChaosSpec, generate_schedule
 from repro.core.engine import EngineParams, NmadEngine
 from repro.core.requests import RecvRequest, SendRequest
 from repro.errors import PeerDeadError, ReproError
+from repro.netsim.fabric import FatTree
 from repro.netsim.link import FaultPlan
 from repro.netsim.profiles import MX_MYRI10G
+from repro.netsim.stats import topology_summary
 from repro.netsim.topology import Cluster
 from repro.sim.core import Event, Simulator
 
@@ -121,6 +123,9 @@ class ChaosReport:
     findings: list[Finding]
     fault_summary: dict[str, int]
     stats: dict[str, dict[str, int]]
+    #: :func:`repro.netsim.stats.topology_summary` of the cluster (empty
+    #: ``switches`` list on the flat mesh).
+    topology: dict[str, Any] = field(default_factory=dict)
 
     def to_jsonable(self) -> dict[str, Any]:
         return {
@@ -136,6 +141,7 @@ class ChaosReport:
             "fault_summary": dict(self.fault_summary),
             "stats": {node: dict(counters)
                       for node, counters in self.stats.items()},
+            "topology": dict(self.topology),
         }
 
     def describe(self) -> str:
@@ -146,6 +152,14 @@ class ChaosReport:
             f"({self.delivered}/{self.n_messages} delivered, "
             f"{len(self.faults)} fault(s), drained={self.drained})",
         ]
+        if self.topology.get("n_switches"):
+            lines.append(
+                f"  fabric  {self.topology['name']}: "
+                f"{self.topology['n_switches']} switch(es), "
+                f"{self.topology['switches_down']} down, "
+                f"{self.topology['paths_rerouted']} path(s) rerouted, "
+                f"{self.topology['switch_frames_dropped']} frame(s) "
+                "switch-dropped")
         for fault in self.faults:
             lines.append(f"  inject  {fault.describe()}")
         for finding in self.findings:
@@ -219,12 +233,55 @@ def _install_faults(
             drop_nth=drop_nth, bursts=bursts, corrupt_nth=corrupt_nth,
             dup_nth=dup_nth, reorder=reorder, slow_link=slow, jitter=jitter,
         )
+        installed = False
         for link in cluster.links:
             if (link.src.node_id == src and link.dst.node_id == dst):
                 link.fault_plan = plan
+                installed = True
+        if not installed:
+            # Switched fabric: no direct src->dst wire exists, so the fault
+            # lands on the source host's uplink — the first (and on a
+            # 2-node drill, only) hop every frame of that flow crosses.
+            uplink = cluster.host_uplinks.get((src, 0))
+            if uplink is not None:
+                uplink.fault_plan = plan
+
+    # Deterministic spine-kill resolution: each ``switch_kill``'s ``nth``
+    # indexes into the rail-0 core switches that can still die safely —
+    # every core group must keep one survivor, or the fabric disconnects
+    # and the drill stops exercising reroute and starts proving the
+    # obvious.  Kills beyond the safe budget are skipped.
+    kills = [f for f in faults if f.kind == "switch_kill"]
+    if kills:
+        spines = [s for s in cluster.switches
+                  if s.tier == "core" and s.rail == 0]
+        if not spines:
+            raise ReproError(
+                "schedule contains switch_kill but the cluster has no "
+                "spine switches (topology must be fat-tree)")
+        remaining: dict[int, int] = {}
+        for s in spines:
+            remaining[s.group] = remaining.get(s.group, 0) + 1
+        doomed: set[int] = set()
+        for fault in kills:
+            eligible = [s for s in spines
+                        if s.switch_id not in doomed
+                        and remaining[s.group] > 1]
+            if not eligible:
+                continue  # no safe spine left; skip the extra kill
+            target = eligible[fault.nth % len(eligible)]
+            doomed.add(target.switch_id)
+            remaining[target.group] -= 1
+            cluster.schedule_switch_fault(
+                target.switch_id, FaultPlan(switch_down_at=fault.from_us))
 
     for fault in faults:
-        if fault.kind == "partition":
+        if fault.kind == "rack_partition":
+            cluster.rack_partition(
+                fault.nth % len(cluster.racks),
+                from_us=fault.from_us, until_us=fault.until_us,
+            )
+        elif fault.kind == "partition":
             cluster.partition(
                 [list(group) for group in fault.groups],
                 from_us=fault.from_us, until_us=fault.until_us,
@@ -259,7 +316,13 @@ def run_schedule(
 
     rng = Random(seed)
     sim = Simulator()
-    cluster = Cluster(sim, n_nodes=spec.n_nodes, rails=[MX_MYRI10G])
+    topology: str | FatTree = "mesh"
+    if spec.topology == "fat-tree":
+        # The builder seed follows the schedule seed so ECMP column choice
+        # varies across the sweep, yet each seed replays bit-identically.
+        topology = FatTree(k=spec.fat_tree_k, seed=seed)
+    cluster = Cluster(sim, n_nodes=spec.n_nodes, rails=[MX_MYRI10G],
+                      topology=topology)
     params = _engine_params(spec)
     nodes: dict[int, list[NmadEngine]] = {
         node_id: [NmadEngine(cluster.node(node_id), params=params)]
@@ -375,4 +438,5 @@ def run_chaos(seed: int, spec: ChaosSpec | None = None) -> ChaosReport:
         findings=findings,
         fault_summary=world.cluster.fault_summary(),
         stats=stats,
+        topology=topology_summary(world.cluster),
     )

@@ -26,9 +26,12 @@ from repro.errors import ReproError
 __all__ = ["FAULT_KINDS", "ChaosFault", "ChaosSpec", "generate_schedule"]
 
 #: Every fault kind a schedule may contain.  ``crash`` only appears when
-#: :attr:`ChaosSpec.crashes` is set (restart-aware drivers only).
+#: :attr:`ChaosSpec.crashes` is set (restart-aware drivers only);
+#: ``rack_partition`` and ``switch_kill`` only on structured topologies
+#: (:attr:`ChaosSpec.topology` != ``"mesh"``).
 FAULT_KINDS = ("drop", "burst", "corrupt", "slow", "dup", "reorder",
-               "jitter", "partition", "crash")
+               "jitter", "partition", "crash", "rack_partition",
+               "switch_kill")
 
 #: Relative pick weights for link faults (partition/crash are rationed
 #: separately: at most a couple per schedule, or recovery never settles).
@@ -53,6 +56,12 @@ class ChaosFault:
     partition ``groups`` cannot talk over ``[from_us, until_us)``
               (``one_way``: only lower-indexed -> higher-indexed drops)
     crash     node ``src`` fail-stops at ``from_us``, restarts ``until_us``
+    rack_partition
+              rack ``nth % n_racks`` unreachable over
+              ``[from_us, until_us)`` (structured topologies only)
+    switch_kill
+              a spine switch (selected deterministically from ``nth``
+              among the safe candidates) fail-stops at ``from_us``
     ========= =========================================================
     """
 
@@ -97,6 +106,11 @@ class ChaosFault:
         if self.kind == "crash":
             return (f"crash node{self.src} at {self.from_us:g}us, "
                     f"restart {self.until_us:g}us")
+        if self.kind == "rack_partition":
+            return (f"rack-partition rack~{self.nth} "
+                    f"[{self.from_us:g},{self.until_us:g})us")
+        if self.kind == "switch_kill":
+            return f"switch-kill spine~{self.nth} at {self.from_us:g}us"
         return f"{self.kind}?"
 
     def to_jsonable(self) -> dict[str, Any]:
@@ -142,6 +156,14 @@ class ChaosSpec:
     rel_timeout_us: float = 100.0
     rel_retry_budget: int = 64
     max_resends: int = 4
+    #: ``"mesh"`` (the default, byte-identical to the pre-topology engine)
+    #: or ``"fat-tree"`` to route the workload through a switched fabric.
+    topology: str = "mesh"
+    fat_tree_k: int = 4
+    #: Spine switches to fail-stop mid-run (fat-tree only).  Kills are
+    #: capped so each core group keeps a survivor — the drill exercises
+    #: rerouting, not a disconnected fabric.
+    switch_kills: int = 0
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -155,12 +177,28 @@ class ChaosSpec:
             raise ReproError(
                 f"bad message size range [{self.msg_min_bytes}, "
                 f"{self.msg_max_bytes}]")
+        if self.topology not in ("mesh", "fat-tree"):
+            raise ReproError(
+                f"unknown chaos topology {self.topology!r}; "
+                "expected mesh | fat-tree")
+        if self.fat_tree_k < 4 or self.fat_tree_k % 2:
+            raise ReproError(
+                f"fat_tree_k must be even and >= 4, got {self.fat_tree_k}")
+        if self.switch_kills < 0:
+            raise ReproError(f"negative switch_kills {self.switch_kills}")
+        if self.switch_kills and self.topology == "mesh":
+            raise ReproError(
+                "switch_kills needs a switched topology "
+                "(topology='fat-tree'); a mesh has no switches")
 
     @classmethod
-    def quick(cls, crashes: bool = False) -> ChaosSpec:
+    def quick(cls, crashes: bool = False, topology: str = "mesh",
+              fat_tree_k: int = 4, switch_kills: int = 0) -> ChaosSpec:
         """The CI sweep profile: smaller workload, same fault variety."""
         return cls(n_messages=8, msg_max_bytes=2048, max_faults=6,
-                   deadline_us=30_000.0, crashes=crashes)
+                   deadline_us=30_000.0, crashes=crashes,
+                   topology=topology, fat_tree_k=fat_tree_k,
+                   switch_kills=switch_kills)
 
 
 def _directed_pair(rng: Random, n_nodes: int) -> tuple[int, int]:
@@ -213,13 +251,25 @@ def generate_schedule(seed: int, spec: ChaosSpec) -> list[ChaosFault]:
             # silence, death a full timeout — 0.2..0.7 spans both sides
             # of suspicion while staying clear of the teardown cliff.
             duration = rng.uniform(0.2, 0.7) * spec.hb_timeout_us
-            faults.append(ChaosFault(
-                kind="partition",
-                groups=_split_groups(rng, spec.n_nodes),
-                from_us=round(start, 3),
-                until_us=round(start + duration, 3),
-                one_way=rng.random() < 0.3,
-            ))
+            if spec.topology == "mesh":
+                faults.append(ChaosFault(
+                    kind="partition",
+                    groups=_split_groups(rng, spec.n_nodes),
+                    from_us=round(start, 3),
+                    until_us=round(start + duration, 3),
+                    one_way=rng.random() < 0.3,
+                ))
+            else:
+                # On a structured fabric the natural partition unit is a
+                # rack (edge switch / dragonfly group), which always cuts
+                # the 0->1 workload path: the two nodes sit in different
+                # racks by construction.  Same healable window.
+                faults.append(ChaosFault(
+                    kind="rack_partition",
+                    nth=rng.randrange(1 << 30),
+                    from_us=round(start, 3),
+                    until_us=round(start + duration, 3),
+                ))
             continue
         if spec.crashes and roll < 0.28 and n_crashes < 1:
             n_crashes += 1
@@ -268,4 +318,14 @@ def generate_schedule(seed: int, spec: ChaosSpec) -> list[ChaosFault]:
                 kind="jitter", src=src, dst=dst,
                 max_us=round(rng.uniform(0.5, 15.0), 3),
                 rng_seed=rng.randrange(1 << 30)))
+    # Switch kills ride AFTER the seeded link-fault loop so a mesh schedule
+    # from the same seed stays byte-identical.  ``nth`` is a selection seed
+    # the runner resolves against the safe spine candidates; the kill lands
+    # early enough that reroute happens mid-transfer, not post-traffic.
+    for _ in range(spec.switch_kills):
+        faults.append(ChaosFault(
+            kind="switch_kill",
+            nth=rng.randrange(1 << 30),
+            from_us=round(rng.uniform(active_us * 0.1, active_us * 0.5), 3),
+        ))
     return faults

@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: off, the paper's crash-free engine)")
     report.add_argument("--rails", type=int, choices=(1, 2), default=1,
                         help="1 = MX only; 2 = MX + Quadrics multirail")
+    report.add_argument("--topology",
+                        choices=("mesh", "fat-tree", "dragonfly"),
+                        default="mesh",
+                        help="network fabric between the two nodes "
+                             "(default: mesh, the paper's direct links)")
     report.add_argument("--messages", type=int, default=40,
                         help="number of random messages to replay")
     report.add_argument("--seed", type=int, default=0,
@@ -128,6 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="smaller workload per seed (the CI profile)")
     chaos.add_argument("--crashes", action="store_true",
                        help="allow crash/restart faults in the schedules")
+    chaos.add_argument("--topology", choices=("mesh", "fat-tree"),
+                       default="mesh",
+                       help="fabric for the chaos cluster (default: mesh; "
+                            "fat-tree routes traffic through switches and "
+                            "turns partitions into rack partitions)")
+    chaos.add_argument("--switch-kills", type=int, default=0, metavar="N",
+                       dest="switch_kills",
+                       help="kill N healable spine switches per schedule "
+                            "(requires --topology fat-tree)")
+    chaos.add_argument("--fat-tree-k", type=int, default=4, metavar="K",
+                       dest="fat_tree_k",
+                       help="fat-tree arity for --topology fat-tree "
+                            "(even, >= 4; default: 4)")
     chaos.add_argument("--shrink", action="store_true",
                        help="minimize each failing schedule and print a "
                             "standalone repro snippet")
@@ -239,8 +257,8 @@ REPORT_STAT_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
     )),
     ("reliability", (
         "retransmits", "duplicates_suppressed", "failovers",
-        "rails_quarantined", "acks_sent", "corrupt_discards",
-        "transport_failures",
+        "rails_quarantined", "rails_reprobed", "acks_sent",
+        "corrupt_discards", "transport_failures",
     )),
     ("flow_control", (
         "credit_stalls", "window_full_events", "unexpected_overflows",
@@ -262,7 +280,7 @@ def _report_payload(args, pair, messages, stalled) -> dict:
     """Structured report: one dict, rendered as text or dumped as JSON."""
     import dataclasses
 
-    from repro.netsim.stats import cluster_utilization
+    from repro.netsim.stats import cluster_utilization, topology_summary
 
     grouped_fields = {f for _, fields in REPORT_STAT_GROUPS for f in fields}
     engines = []
@@ -295,6 +313,7 @@ def _report_payload(args, pair, messages, stalled) -> dict:
             "sessions": args.sessions,
             "messages": args.messages,
             "seed": args.seed,
+            "topology": args.topology,
         },
         "replay": {
             "ok": stalled is None,
@@ -313,6 +332,7 @@ def _report_payload(args, pair, messages, stalled) -> dict:
         "faults": {**pair.cluster.fault_summary(),
                    "conservation_ok":
                        pair.cluster.conservation_ok(allow_faults=True)},
+        "topology": topology_summary(pair.cluster),
     }
 
 
@@ -327,6 +347,7 @@ def _report(args, out) -> int:
     from repro.netsim.stats import (
         cluster_utilization,
         render_fault_summary,
+        render_topology,
         render_utilization,
     )
 
@@ -339,7 +360,7 @@ def _report(args, out) -> int:
                           flow_control=args.flow_control,
                           sessions=args.sessions)
     pair = make_backend_pair("madmpi", rails=rails, strategy=strategy,
-                             engine_params=params)
+                             engine_params=params, topology=args.topology)
     if (args.drop_nth or args.slow_link is not None
             or args.link_down_at is not None):
         # drop/slow target the rail-0 link; a link-down alone targets the
@@ -397,6 +418,8 @@ def _report(args, out) -> int:
         _print(out, "\n".join(lines))
     _print(out, render_utilization(cluster_utilization(pair.cluster)))
     _print(out, render_fault_summary(pair.cluster))
+    if payload["topology"]["n_switches"]:
+        _print(out, render_topology(payload["topology"]))
     if stalled is not None:
         _print(out, f"SIMULATION STALLED: {stalled}")
         return 1
@@ -409,11 +432,17 @@ def _chaos(args, out) -> int:
     # Imported lazily, like the other subcommands: the chaos package pulls
     # in the whole engine stack, which `repro figures` does not need.
     from repro.chaos import ChaosSpec, run_chaos, shrink_schedule
+    from repro.errors import ReproError
 
     if args.seeds < 1:
         raise SystemExit("--seeds must be >= 1")
-    spec = (ChaosSpec.quick(crashes=args.crashes) if args.quick
-            else ChaosSpec(crashes=args.crashes))
+    topo = dict(topology=args.topology, fat_tree_k=args.fat_tree_k,
+                switch_kills=args.switch_kills)
+    try:
+        spec = (ChaosSpec.quick(crashes=args.crashes, **topo) if args.quick
+                else ChaosSpec(crashes=args.crashes, **topo))
+    except ReproError as exc:
+        raise SystemExit(f"invalid chaos spec: {exc}") from None
 
     reports = []
     failing = 0

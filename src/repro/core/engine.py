@@ -88,6 +88,11 @@ class EngineParams:
     #: Consecutive retransmit-timeouts that quarantine a rail (when another
     #: healthy rail exists).
     rel_quarantine_threshold: int = 3
+    #: Half-open recovery: delay before a quarantined rail is re-probed.
+    #: ``0`` derives 32x ``rel_timeout_us``; ``float("inf")`` disables
+    #: probing (a quarantined rail then stays out for good, the pre-probe
+    #: behaviour).  The delay doubles per re-quarantine of the same rail.
+    rel_probe_after_us: float = 0.0
     #: Overload protection (see :mod:`repro.core.flowcontrol`).  The paper's
     #: engine assumes well-behaved peers and unbounded buffering, so
     #: ``"off"`` is the default and keeps every benchmark figure
@@ -164,6 +169,8 @@ class EngineParams:
             raise ValueError("negative ack delay")
         if self.rel_quarantine_threshold < 1:
             raise ValueError("quarantine threshold must be >= 1")
+        if not self.rel_probe_after_us >= 0:  # rejects negatives and NaN
+            raise ValueError("rail probe delay must be >= 0")
         if self.flow_control not in ("off", "credit"):
             raise ValueError(
                 f"unknown flow control mode {self.flow_control!r}; "
@@ -233,6 +240,7 @@ class EngineStats:
     duplicates_suppressed: int = 0
     failovers: int = 0
     rails_quarantined: int = 0
+    rails_reprobed: int = 0        # half-open probes that lifted a quarantine
     acks_sent: int = 0
     corrupt_discards: int = 0
     transport_failures: int = 0

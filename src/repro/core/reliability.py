@@ -23,6 +23,15 @@ the engine survive lossy links and failing rails:
   the rail (if another healthy rail exists) — subsequent traffic,
   retransmits, and not-yet-carved rendezvous chunks fail over to the
   surviving rails;
+* a quarantined rail is **re-probed half-open** after a backoff window
+  (``rel_probe_after_us``, default 32x the retransmit timeout, doubling
+  on every re-quarantine): it rejoins the candidate set one loss short
+  of the threshold, so a still-dead rail is ejected on the very next
+  timeout while a healed one carries traffic again;
+* among healthy rails, election is **congestion-aware**: the least
+  congested rail by NIC queue depth (pending window bytes as tie-break)
+  wins, sticky to the previous rail on ties — shortest-queue failover
+  rather than a fixed priority order;
 * after ``rel_retry_budget`` retransmits a frame is declared
   undeliverable: the affected requests fail with
   :class:`~repro.errors.TransportError` (:class:`~repro.errors.RailDownError`
@@ -111,6 +120,10 @@ class ReliabilityLayer:
         self.quarantined: set[int] = set()
         #: Consecutive retransmit-timeouts per rail (reset on any ack).
         self.rail_losses: dict[int, int] = {}
+        # Half-open recovery: each quarantine schedules a re-probe after a
+        # per-rail backoff window; generation counters void stale probes.
+        self._probe_gens: dict[int, int] = {}
+        self._probe_backoff: dict[int, float] = {}
         self._name = f"node{engine.node_id}.reliability"
 
     # -- introspection ------------------------------------------------------
@@ -280,16 +293,79 @@ class ReliabilityLayer:
                     touched = True
             if touched:
                 self._arm_timer(ch)
+        self._schedule_probe(rail)
+        self.engine.transfer.kick()
+
+    def _probe_base_us(self) -> float:
+        """The first half-open probe delay (0 in params = auto-derive)."""
+        configured = self.params.rel_probe_after_us
+        return configured if configured > 0.0 else 32.0 * self.params.rel_timeout_us
+
+    def _schedule_probe(self, rail: int) -> None:
+        """Arm the half-open recovery probe for a freshly quarantined rail.
+
+        The backoff doubles on every re-quarantine of the same rail (capped
+        at 64x) and resets the next time an ack succeeds on it, so a flapping
+        rail is probed ever more lazily while a healed one rejoins fast.
+        """
+        base = self._probe_base_us()
+        if base != base or base == float("inf"):  # NaN/inf = probing off
+            return
+        backoff = self._probe_backoff.get(rail, base)
+        self._probe_backoff[rail] = min(backoff * 2.0, 64.0 * base)
+        gen = self._probe_gens.get(rail, 0) + 1
+        self._probe_gens[rail] = gen
+        self.engine.tracer.emit(self.sim.now, self._name, "probe_armed",
+                                rail=rail, after_us=backoff)
+        self.sim.schedule(backoff, lambda: self._reprobe(rail, gen))
+
+    def _reprobe(self, rail: int, gen: int) -> None:
+        """Half-open the rail: lift the quarantine, one strike re-imposes it.
+
+        The rail rejoins the candidate set with its loss score one short of
+        the threshold, so the very next retransmit timeout on it
+        re-quarantines immediately (and re-arms a longer probe), while a
+        single successful ack clears the score and the backoff entirely.
+        """
+        if gen != self._probe_gens.get(rail):
+            return  # superseded (halt or a newer quarantine cycle)
+        if rail not in self.quarantined:
+            return
+        self.quarantined.discard(rail)
+        self.rail_losses[rail] = self.params.rel_quarantine_threshold - 1
+        self.engine.stats.rails_reprobed += 1
+        self.engine.tracer.emit(self.sim.now, self._name, "reprobe",
+                                rail=rail)
         self.engine.transfer.kick()
 
     def _choose_rail(self, peer: int, prefer: int) -> int:
-        """Healthiest rail with a link to ``peer`` (sticky to ``prefer``)."""
-        if prefer not in self.quarantined and self.nics[prefer].has_peer(peer):
+        """Least-congested healthy rail with a path to ``peer``.
+
+        Congestion-aware shortest-queue choice: each candidate rail is
+        scored by its NIC's tx occupancy (queued frames, +1 while the card
+        is busy serializing) with the optimization window's O(1) pending-
+        byte index as the tie-break.  ``prefer`` stays sticky unless some
+        other rail is *strictly* less congested, so the uncontended case
+        behaves exactly like the old boolean health check.
+        """
+        candidates = [r for r, nic in enumerate(self.nics)
+                      if r not in self.quarantined and nic.has_peer(peer)]
+        if not candidates:
+            return prefer  # no healthy alternative: keep trying where we were
+        if len(candidates) == 1:
+            return candidates[0]
+        best = min(candidates, key=self._rail_score)
+        if prefer in candidates:
+            if self._rail_score(best) < self._rail_score(prefer):
+                return best
             return prefer
-        for r, nic in enumerate(self.nics):
-            if r not in self.quarantined and nic.has_peer(peer):
-                return r
-        return prefer  # no healthy alternative: keep trying where we were
+        return best
+
+    def _rail_score(self, rail: int) -> tuple[int, int]:
+        """Queue-depth congestion score for one rail (lower is better)."""
+        nic = self.nics[rail]
+        depth = nic.queued + (0 if nic.idle else 1)
+        return depth, self.engine.window.pending_bytes(rail)
 
     def choose_rail(self, peer: int, prefer: int = 0) -> int:
         """Public rail election for other control layers (flow control)."""
@@ -346,6 +422,9 @@ class ReliabilityLayer:
         for seq in acked:
             pending = ch.unacked.pop(seq)
             self.rail_losses[pending.rail] = 0
+            # Proof of life: the rail carried an acked frame, so the next
+            # quarantine (if any) starts from the base probe window again.
+            self._probe_backoff.pop(pending.rail, None)
             if pending.on_delivered is not None:
                 pending.on_delivered()
         ch.rto_us = self.params.rel_timeout_us  # fresh RTT evidence
@@ -420,6 +499,9 @@ class ReliabilityLayer:
             ch.ack_pending = False
             ch.ack_gen += 1
             ch.unacked.clear()
+        for rail in range(len(self.nics)):
+            if rail in self._probe_gens:
+                self._probe_gens[rail] += 1  # in-flight probes become no-ops
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ReliabilityLayer {self._name} mode={self.mode} "

@@ -1,5 +1,13 @@
 """Network + host hardware substrate (simulated NICs, links, nodes)."""
 
+from repro.netsim.fabric import (
+    Dragonfly,
+    FatTree,
+    Mesh,
+    Switch,
+    TopologySpec,
+    flow_hash,
+)
 from repro.netsim.frames import Frame, FrameKind
 from repro.netsim.link import FaultPlan, Link
 from repro.netsim.memory import MemoryModel
@@ -30,6 +38,8 @@ from repro.netsim.units import (
 
 __all__ = [
     "Cluster",
+    "Dragonfly",
+    "FatTree",
     "FaultPlan",
     "Frame",
     "FrameKind",
@@ -41,6 +51,7 @@ __all__ = [
     "Link",
     "MB",
     "MemoryModel",
+    "Mesh",
     "MX_MYRI10G",
     "Nic",
     "NicProfile",
@@ -48,7 +59,10 @@ __all__ = [
     "PROFILES",
     "QUADRICS_QM500",
     "SISCI_SCI",
+    "Switch",
     "TCP_GIGE",
+    "TopologySpec",
+    "flow_hash",
     "format_size",
     "log2_size_sweep",
     "parse_size",

@@ -41,6 +41,7 @@ from repro.netsim.frames import Frame
 from repro.sim import Simulator, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.fabric import Switch
     from repro.netsim.nic import Nic
 
 __all__ = ["FaultPlan", "Link"]
@@ -91,7 +92,12 @@ class FaultPlan:
       whole *node* fail-stops and (optionally) comes back as a new
       incarnation.  These are node-level faults, not link-level ones:
       ``decide`` ignores them; apply the plan through
-      :meth:`~repro.netsim.topology.Cluster.schedule_node_fault`.
+      :meth:`~repro.netsim.topology.Cluster.schedule_node_fault`;
+    * ``switch_down_at`` — a virtual time at which a whole *switch*
+      fail-stops, taking every path through it with it.  Like the node
+      faults this is not a link-level decision: ``decide`` ignores it;
+      apply the plan through
+      :meth:`~repro.netsim.topology.Cluster.schedule_switch_fault`.
 
     Plans keep per-instance arrival counters (and a per-instance jitter
     RNG), so do not share one instance across links.  Drop decisions win
@@ -113,6 +119,7 @@ class FaultPlan:
         partitions: Sequence[tuple[float, float | None]] = (),
         node_crash_at: float | None = None,
         node_restart_at: float | None = None,
+        switch_down_at: float | None = None,
     ) -> None:
         for n in tuple(drop_nth) + tuple(corrupt_nth) + tuple(dup_nth):
             if n < 1:
@@ -167,6 +174,8 @@ class FaultPlan:
                 raise NetworkError(
                     f"node_restart_at ({node_restart_at}) must be after "
                     f"node_crash_at ({node_crash_at})")
+        if switch_down_at is not None and switch_down_at < 0:
+            raise NetworkError(f"negative switch_down_at {switch_down_at}")
         self.drop_nth = frozenset(drop_nth)
         self.drop_frame_ids = frozenset(drop_frame_ids)
         self.bursts = tuple(bursts)
@@ -182,6 +191,7 @@ class FaultPlan:
         self.partitions: list[tuple[float, float | None]] = list(partitions)
         self.node_crash_at = node_crash_at
         self.node_restart_at = node_restart_at
+        self.switch_down_at = switch_down_at
         self._n = 0
         self._kind_counts: dict[str, int] = {}
 
@@ -280,17 +290,25 @@ class FaultPlan:
             parts.append(f"node_crash_at={self.node_crash_at}us")
         if self.node_restart_at is not None:
             parts.append(f"node_restart_at={self.node_restart_at}us")
+        if self.switch_down_at is not None:
+            parts.append(f"switch_down_at={self.switch_down_at}us")
         return f"<FaultPlan {' '.join(parts) or 'clean'}>"
 
 
 class Link:
-    """One directed wire: ``src`` NIC to ``dst`` NIC with fixed latency."""
+    """One directed wire between two endpoints with fixed latency.
+
+    Endpoints are NICs in the flat mesh; structured fabrics
+    (:mod:`repro.netsim.fabric`) also terminate links on switches, which
+    forward rather than consume — the endpoint duck type is ``name``,
+    ``node_id``, ``is_forwarder`` and ``_arrive``.
+    """
 
     def __init__(
         self,
         sim: Simulator,
-        src: Nic,
-        dst: Nic,
+        src: Nic | Switch,
+        dst: Nic | Switch,
         latency_us: float,
         tracer: Tracer | None = None,
         fault_injector: FaultPlan | Callable[[Frame], bool] | None = None,
@@ -345,7 +363,9 @@ class Link:
 
     def transmit(self, frame: Frame) -> None:
         """Accept a fully-serialized frame and deliver it after the latency."""
-        if frame.dst_node != self.dst.node_id:
+        if not self.dst.is_forwarder and frame.dst_node != self.dst.node_id:
+            # A forwarder endpoint (switch) routes on the final host
+            # address; only terminal NIC endpoints enforce it.
             raise NetworkError(
                 f"{self.name}: frame addressed to node {frame.dst_node}, "
                 f"link ends at node {self.dst.node_id}"

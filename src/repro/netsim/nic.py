@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable
+from typing import ClassVar
 
 from repro.errors import NetworkError
 from repro.netsim.frames import Frame
@@ -42,6 +43,10 @@ __all__ = ["Nic"]
 
 class Nic:
     """One network interface card attached to a node."""
+
+    #: NICs are terminal link endpoints: links addressed elsewhere raise.
+    #: Switches (:mod:`repro.netsim.fabric`) override this to forward.
+    is_forwarder: ClassVar[bool] = False
 
     def __init__(
         self,
@@ -58,6 +63,10 @@ class Nic:
         self.tracer = tracer if tracer is not None else Tracer()
         self.name = f"node{node_id}.nic{rail}.{profile.tech}"
         self._links: dict[int, Link] = {}
+        # Structured fabrics attach one uplink into the switched fabric
+        # instead of a link per peer; it is the routing fallback for any
+        # destination without a direct point-to-point link.
+        self._uplink: Link | None = None
         self._queue: deque[tuple[Frame, float, Event]] = deque()
         self._transmitting = False
         self._rx_handler: Callable[[Frame], None] | None = None
@@ -95,13 +104,31 @@ class Nic:
             raise NetworkError(f"{self.name}: cannot connect a NIC to itself")
         self._links[dst_node] = link
 
+    def set_uplink(self, link: Link) -> None:
+        """Attach the fabric uplink (at most one; fabric builders call this)."""
+        if self._uplink is not None:
+            raise NetworkError(f"{self.name}: uplink already attached")
+        self._uplink = link
+
+    @property
+    def uplink(self) -> Link | None:
+        """The fabric uplink, if this NIC hangs off a switched topology."""
+        return self._uplink
+
     def peers(self) -> list[int]:
-        """Node ids reachable through this NIC."""
+        """Node ids reachable through a *direct* link on this NIC."""
         return sorted(self._links)
 
     def has_peer(self, dst_node: int) -> bool:
-        """Does this NIC own a link towards ``dst_node``?"""
-        return dst_node in self._links
+        """Can this NIC reach ``dst_node`` (direct link or fabric uplink)?"""
+        if dst_node in self._links:
+            return True
+        return self._uplink is not None and dst_node != self.node_id
+
+    def _route(self, dst_node: int) -> Link | None:
+        """The egress link for ``dst_node``: direct if present, else uplink."""
+        link = self._links.get(dst_node)
+        return link if link is not None else self._uplink
 
     def set_receive_handler(self, fn: Callable[[Frame], None]) -> None:
         """Install the upper layer's frame-arrival handler."""
@@ -140,10 +167,10 @@ class Nic:
             raise NetworkError(
                 f"{self.name}: frame src node {frame.src_node} != {self.node_id}"
             )
-        if frame.dst_node not in self._links:
+        if self._route(frame.dst_node) is None:
             raise NetworkError(
                 f"{self.name}: no link to node {frame.dst_node} "
-                f"(connected: {self.peers()})"
+                f"(connected: {self.peers()}, no uplink)"
             )
         if cpu_gap_us < 0:
             raise NetworkError(f"negative cpu gap {cpu_gap_us}")
@@ -185,7 +212,10 @@ class Nic:
         self.frames_sent += 1
         self.bytes_sent += frame.wire_size
         self.busy_time += self.sim.now - self._tx_started_at
-        self._links[frame.dst_node].transmit(frame)
+        link = self._route(frame.dst_node)
+        if link is None:  # pragma: no cover - post_send already validated
+            raise NetworkError(f"{self.name}: lost route to {frame.dst_node}")
+        link.transmit(frame)
         self.tracer.emit(self.sim.now, self.name, "tx_done", frame=frame.frame_id)
         done.succeed(frame)
         if self._queue:

@@ -10,12 +10,26 @@ multirail benches print.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.netsim.nic import Nic
 from repro.netsim.topology import Cluster
 
-__all__ = ["NicUtilization", "nic_utilization", "cluster_utilization",
-           "render_utilization", "render_fault_summary"]
+__all__ = ["NicUtilization", "SWITCH_COUNTERS", "nic_utilization",
+           "cluster_utilization", "render_utilization",
+           "render_fault_summary", "topology_summary", "render_topology"]
+
+#: Every per-switch integer counter, in report order.  This is the
+#: NM304-style registry for the topology layer: the ``--json`` report and
+#: the chaos report emit exactly these keys per switch, and the registry
+#: test asserts the tuple stays exhaustive against ``fabric.Switch``.
+SWITCH_COUNTERS: tuple[str, ...] = (
+    "frames_forwarded",
+    "bytes_forwarded",
+    "frames_dropped",
+    "bytes_dropped",
+    "paths_rerouted",
+)
 
 
 @dataclass(frozen=True)
@@ -105,3 +119,66 @@ def render_fault_summary(cluster: Cluster) -> str:
         f"{s['links_down']} link(s) down; "
         f"conservation(with faults): {'ok' if conserved else 'VIOLATED'}"
     )
+
+
+#: The tier whose load spread measures ECMP quality, per topology.
+_SPINE_TIER = {"fat-tree": "core", "dragonfly": "router"}
+
+
+def topology_summary(cluster: Cluster) -> dict[str, Any]:
+    """Machine-readable snapshot of the switching fabric.
+
+    Flat mesh clusters (the paper-faithful default) have no switches and
+    report an empty-but-well-formed summary so consumers never need to
+    special-case the topology.  The per-switch entries carry exactly the
+    :data:`SWITCH_COUNTERS` keys; ``ecmp_spread`` measures load balance
+    over the spine tier (max − min frames forwarded across live spines —
+    0 means perfectly even).
+    """
+    switches = cluster.switches
+    summary: dict[str, Any] = {
+        "name": cluster.topology_name,
+        "n_switches": len(switches),
+        "switches_down": sum(1 for sw in switches if not sw.up),
+        "paths_rerouted": sum(sw.paths_rerouted for sw in switches),
+        "switch_frames_forwarded": sum(sw.frames_forwarded
+                                       for sw in switches),
+        "switch_frames_dropped": sum(sw.frames_dropped for sw in switches),
+        "switch_bytes_dropped": sum(sw.bytes_dropped for sw in switches),
+        "n_racks": len(cluster.racks),
+        "switches": [
+            {"name": sw.name, "tier": sw.tier, "rail": sw.rail,
+             "up": sw.up,
+             **{c: getattr(sw, c) for c in SWITCH_COUNTERS}}
+            for sw in switches
+        ],
+    }
+    spine_tier = _SPINE_TIER.get(cluster.topology_name)
+    spine_loads = [sw.frames_forwarded for sw in switches
+                   if spine_tier is not None and sw.tier == spine_tier
+                   and sw.rail == 0]
+    summary["spine_loads"] = spine_loads
+    summary["ecmp_spread"] = (max(spine_loads) - min(spine_loads)
+                              if spine_loads else 0)
+    return summary
+
+
+def render_topology(summary: dict[str, Any]) -> str:
+    """Aligned text table of per-switch forwarding counters."""
+    lines = [
+        f"topology {summary['name']}: {summary['n_switches']} switch(es), "
+        f"{summary['switches_down']} down, "
+        f"{summary['paths_rerouted']} path(s) rerouted, "
+        f"ecmp spread {summary['ecmp_spread']}",
+    ]
+    if summary["switches"]:
+        lines.append(f"{'switch':<24} {'tier':<7} {'fwd':>8} {'fwdB':>12} "
+                     f"{'drop':>6} {'rerte':>6} {'state':>6}")
+        for sw in summary["switches"]:
+            lines.append(
+                f"{sw['name']:<24} {sw['tier']:<7} "
+                f"{sw['frames_forwarded']:>8} {sw['bytes_forwarded']:>12} "
+                f"{sw['frames_dropped']:>6} {sw['paths_rerouted']:>6} "
+                f"{'up' if sw['up'] else 'DOWN':>6}"
+            )
+    return "\n".join(lines)

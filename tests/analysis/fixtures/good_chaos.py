@@ -14,5 +14,12 @@ def dispatch(fault):
     return fault.kind in ("partition", "crash")  # registered chaos kinds
 
 
+def dispatch_topology(fault):
+    # PR 9's fabric fault kinds are registered the same way (NM304).
+    if fault.kind == "switch_kill":
+        return "spine"
+    return "rack" if fault.kind == "rack_partition" else None
+
+
 def count_suspects(engine):
     return len(engine.sessions.suspect_peers())  # public accessor, any module

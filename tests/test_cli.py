@@ -179,6 +179,61 @@ class TestReportPartitionGroup:
                                              "frames_parked"}
 
 
+class TestTopologyCli:
+    def test_report_mesh_default_has_no_switches(self):
+        code, text = run_cli("report", "--messages", "5", "--json")
+        assert code == 0
+        topo = json.loads(text)["topology"]
+        assert topo["name"] == "mesh"
+        assert topo["n_switches"] == 0
+        assert topo["switches"] == []
+
+    def test_report_fat_tree_json_topology_group(self):
+        code, text = run_cli("report", "--topology", "fat-tree",
+                             "--messages", "5", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["replay"]["ok"] is True
+        assert payload["config"]["topology"] == "fat-tree"
+        topo = payload["topology"]
+        assert topo["name"] == "fat-tree"
+        assert topo["n_switches"] > 0
+        assert topo["switches_down"] == 0
+        assert sum(sw["frames_forwarded"] for sw in topo["switches"]) > 0
+
+    def test_report_fat_tree_text_prints_fabric_table(self):
+        code, text = run_cli("report", "--topology", "fat-tree",
+                             "--messages", "5")
+        assert code == 0
+        assert "fat-tree" in text
+        assert "edge" in text and "core" in text
+
+    def test_chaos_fat_tree_drill_clean_and_deterministic(self, tmp_path):
+        j1, j2 = tmp_path / "a.json", tmp_path / "b.json"
+        argv = ("chaos", "--seed", "0", "--seeds", "2", "--quick",
+                "--topology", "fat-tree", "--switch-kills", "1")
+        code1, text1 = run_cli(*argv, "--json", str(j1))
+        code2, _ = run_cli(*argv, "--json", str(j2))
+        assert code1 == code2 == 0
+        assert "2/2 seed(s) clean" in text1
+        assert j1.read_text() == j2.read_text()
+        payload = json.loads(j1.read_text())
+        assert payload["ok"] is True
+        for seed_report in payload["seeds"]:
+            assert seed_report["findings"] == []
+            assert seed_report["topology"]["name"] == "fat-tree"
+            assert seed_report["topology"]["switches_down"] >= 1
+
+    def test_chaos_switch_kills_require_fat_tree(self):
+        with pytest.raises(SystemExit):
+            run_cli("chaos", "--switch-kills", "1", "--quick")
+
+    def test_chaos_bad_fat_tree_k_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("chaos", "--topology", "fat-tree", "--fat-tree-k", "3",
+                    "--quick")
+
+
 class TestChaosCommand:
     def test_quick_sweep_is_clean_and_deterministic(self, tmp_path):
         j1, j2 = tmp_path / "a.json", tmp_path / "b.json"

@@ -156,10 +156,118 @@ class TestFailover:
         assert not sreq.failed
         assert e0.stats.failovers >= 1
         assert e0.stats.rails_quarantined == 1
-        assert 1 in e0.reliability.quarantined
-        assert not e0.reliability.rail_ok(1) and e0.reliability.rail_ok(0)
+        # The quarantine is no longer forever: the half-open prober lifted
+        # it after the backoff window (the transfer outlives the probe), and
+        # no traffic has re-tried the dead rail since — one more timeout on
+        # it would re-quarantine instantly.
+        assert e0.stats.rails_reprobed == 1
+        assert e0.reliability.rail_ok(0)
         assert cluster.conservation_ok(allow_faults=True)
         assert e0.quiesced() and e1.quiesced()
+
+    def test_healed_rail_carries_traffic_again_after_reprobe(self):
+        # The bugfix regression: a quarantined rail used to stay dead
+        # forever.  Kill rail 1 mid-transfer so it gets quarantined, heal
+        # the link, let the half-open probe lift the quarantine, then prove
+        # a second transfer actually delivers frames over that rail again.
+        params = EngineParams(reliability="ack", rel_timeout_us=100.0,
+                              rel_ack_delay_us=10.0,
+                              rel_quarantine_threshold=2,
+                              rel_probe_after_us=1_000.0)
+        sim, cluster, (e0, e1) = make_pair(
+            params, rails=(MX_MYRI10G, QUADRICS_QM500), strategy="multirail")
+        rail1 = link_between(cluster, 0, 1, rail=1)
+        rail1.fault_plan = FaultPlan(down_at_us=100.0)
+        payload = bytes(range(256)) * 8192  # 2 MiB
+
+        def app():
+            r1 = e1.irecv(src=0, tag=0)
+            s1 = e0.isend(1, payload, tag=0)
+            yield r1.done
+            if not s1.complete:
+                yield s1.done
+            assert e0.stats.rails_quarantined == 1  # the fault bit rail 1
+            rail1.fault_plan = None                 # the brownout heals
+            while not e0.reliability.rail_ok(1):  # probe fires post-heal
+                yield sim.timeout(200.0)
+            sent = cluster.nodes[0].nic(1).frames_sent
+            delivered = rail1.frames_delivered
+            r2 = e1.irecv(src=0, tag=1)
+            s2 = e0.isend(1, payload, tag=1)
+            yield r2.done
+            if not s2.complete:
+                yield s2.done
+            return r1, r2, sent, delivered
+
+        r1, r2, sent, delivered = sim.run_process(app())
+        assert r1.data.tobytes() == payload
+        assert r2.data.tobytes() == payload
+        assert e0.stats.rails_quarantined == 1
+        assert e0.stats.rails_reprobed == 1
+        # The healed rail is not just nominally ok — the second transfer's
+        # frames were sent on it and actually arrived.
+        assert cluster.nodes[0].nic(1).frames_sent > sent
+        assert rail1.frames_delivered > delivered
+        assert e0.reliability.rail_ok(0) and e0.reliability.rail_ok(1)
+        assert cluster.conservation_ok(allow_faults=True)
+
+    def test_reprobe_disabled_with_infinite_delay(self):
+        params = EngineParams(reliability="ack", rel_timeout_us=100.0,
+                              rel_ack_delay_us=10.0,
+                              rel_quarantine_threshold=2,
+                              rel_probe_after_us=float("inf"))
+        sim, cluster, (e0, e1) = make_pair(
+            params, rails=(MX_MYRI10G, QUADRICS_QM500), strategy="multirail")
+        link_between(cluster, 0, 1, rail=1).fault_plan = \
+            FaultPlan(down_at_us=100.0)
+        payload = bytes(range(256)) * 8192  # 2 MiB
+
+        def app():
+            req = e1.irecv(src=0, tag=0)
+            sreq = e0.isend(1, payload, tag=0)
+            yield req.done
+            if not sreq.complete:
+                yield sreq.done
+            yield sim.timeout(500_000.0)  # far beyond any probe backoff
+            return req
+
+        req = sim.run_process(app())
+        assert req.complete
+        assert e0.stats.rails_quarantined == 1
+        assert e0.stats.rails_reprobed == 0   # probing opted out
+        assert not e0.reliability.rail_ok(1)  # quarantine is permanent
+
+    def test_congestion_aware_election_prefers_shorter_queue(self):
+        # Unit-level: with both rails healthy, the election leaves a sticky
+        # preference alone on equal scores but moves to the strictly less
+        # congested rail once the preferred NIC has a deeper tx queue.
+        params = EngineParams(**ACK)
+        sim, cluster, (e0, e1) = make_pair(
+            params, rails=(MX_MYRI10G, QUADRICS_QM500), strategy="multirail")
+        rel = e0.reliability
+        assert rel.choose_rail(1, prefer=0) == 0  # idle tie: sticky
+        assert rel.choose_rail(1, prefer=1) == 1
+        # Pile frames onto rail 0's NIC; rail 1 becomes strictly better.
+        # The link drops them so they never reach node1's engine demux —
+        # this test is about the *sender-side* queue-depth score only.
+        from repro.netsim.frames import Frame
+        link_between(cluster, 0, 1, rail=0).fault_plan = \
+            FaultPlan(drop_nth=tuple(range(1, 5)))
+        nic0 = cluster.nodes[0].nic(0)
+        for _ in range(4):
+            nic0.post_send(Frame(src_node=0, dst_node=1, kind="data",
+                                 wire_size=4096))
+        assert not nic0.idle
+        assert rel.choose_rail(1, prefer=0) == 1
+        sim.run()  # drain the backlog
+        assert rel.choose_rail(1, prefer=0) == 0
+
+    def test_probe_delay_validation(self):
+        with pytest.raises(ValueError):
+            EngineParams(rel_probe_after_us=-1.0)
+        # inf (disabled) and 0 (auto-derive) are both legal.
+        EngineParams(rel_probe_after_us=float("inf"))
+        EngineParams(rel_probe_after_us=0.0)
 
     def test_quarantine_skipped_without_surviving_rail(self):
         # A single-rail engine never self-quarantines: it keeps retrying on

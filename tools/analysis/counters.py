@@ -47,7 +47,7 @@ STATS_COUNTERS = frozenset({
     "anticipated_hits", "eager_bytes", "rdv_bytes", "wire_bytes",
     "recv_copies", "recv_copy_bytes",
     "retransmits", "duplicates_suppressed", "failovers", "rails_quarantined",
-    "acks_sent", "corrupt_discards", "transport_failures",
+    "rails_reprobed", "acks_sent", "corrupt_discards", "transport_failures",
     "credit_stalls", "window_full_events", "unexpected_overflows",
     "credits_granted", "nacks_sent", "nack_resends",
     "peers_suspected", "peers_dead", "epochs_started",

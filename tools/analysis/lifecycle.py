@@ -111,7 +111,7 @@ FRAME_KINDS = frozenset({
 #: against this vocabulary instead (same typo failure mode, NM304).
 CHAOS_FAULT_KINDS = frozenset({
     "drop", "burst", "corrupt", "slow", "dup", "reorder",
-    "jitter", "partition", "crash",
+    "jitter", "partition", "crash", "rack_partition", "switch_kill",
 })
 
 #: The chaos package (NM305 scope) and its one sanctioned inspector.
