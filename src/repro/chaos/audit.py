@@ -26,9 +26,13 @@ whole point of the hardening layers.  The auditor walks the quiesced
   leaked (and vice versa);
 * **stats-ledger** — cross-counter consistency: recoveries never exceed
   suspicions, parked frames imply a suspicion, and every corrupt frame a
-  link mangled was discarded by exactly one engine (on a switched
-  fabric, less any mangled frames that died inside a downed switch —
-  bounded by the fabric's own drop counter).
+  link mangled was discarded by exactly one engine (less any mangled
+  frames that died inside a downed switch or in a later hop's drop
+  window — bounded by the fabric's and the links' own drop counters);
+* **rto-thrash** — adaptive-RTO runs (``spec.adaptive``) never
+  retransmit beyond their loss evidence plus a small ambiguity budget:
+  the measured timeout must not fire at healthy-but-slow frames, which
+  is exactly what a static RTO does under an RTT-drift schedule.
 
 This is the **only** module allowed to read other layers' private state
 (the flow-control ledgers): it inspects, never mutates.  The repo lint
@@ -180,16 +184,50 @@ def _check_stats_ledger(world: ChaosWorld, out: list[Finding]) -> None:
         # A corrupt frame normally reaches an engine and is discarded by
         # its checksum — exactly once.  On a switched fabric a mangled
         # frame (or its retransmission's mangled copy) can instead die at
-        # a downed switch, so the fabric's own drop counter bounds the
-        # permissible shortfall; an *excess* of discards is always a bug.
+        # a downed switch, and on *any* topology a later hop's drop
+        # window (a rack partition, say) can eat the flagged copy — the
+        # links' own corrupt-drop counter plus the fabric's drop counter
+        # bound the permissible shortfall; an *excess* of discards is
+        # always a bug.
         switch_drops = sum(sw.frames_dropped
                            for sw in world.cluster.switches)
-        if discarded > mangled or mangled - discarded > switch_drops:
+        wire_eaten = sum(link.frames_corrupt_dropped
+                         for link in world.cluster.links)
+        if (discarded > mangled
+                or mangled - discarded > switch_drops + wire_eaten):
             out.append(Finding(
                 "stats-ledger",
                 f"links corrupted {mangled} frame(s) but engines "
                 f"discarded {discarded} (switches dropped "
-                f"{switch_drops})"))
+                f"{switch_drops}, wire ate {wire_eaten} flagged)"))
+
+
+def _check_adaptive(world: ChaosWorld, out: list[Finding]) -> None:
+    """Adaptive-RTO runs must not retransmit beyond their loss evidence.
+
+    The point of measuring the RTT is to stop firing the retry clock at
+    healthy-but-queued frames, so under ``spec.adaptive`` every
+    retransmit has to be attributable to an actual wire event — a link
+    or switch drop (partitions included) or a corrupt discard — plus a
+    small ambiguity budget (a retransmission racing its own late ack is
+    legitimate).  A static-RTO run under the same drift schedule blows
+    through this bound by construction; an adaptive run that does too is
+    thrashing, the regression this invariant pins.
+    """
+    if not world.spec.adaptive:
+        return
+    wire_losses = sum(link.frames_dropped for link in world.cluster.links)
+    switch_drops = sum(sw.frames_dropped for sw in world.cluster.switches)
+    corrupts = world.total("corrupt_discards")
+    budget = max(8, world.spec.n_messages)
+    retrans = world.total("retransmits")
+    if retrans > wire_losses + switch_drops + corrupts + budget:
+        out.append(Finding(
+            "rto-thrash",
+            f"adaptive run retransmitted {retrans} frame(s) against "
+            f"{wire_losses} wire drop(s), {switch_drops} switch drop(s), "
+            f"{corrupts} corrupt discard(s) and a budget of {budget} — "
+            "the measured RTO is firing at healthy frames"))
 
 
 def audit_run(world: ChaosWorld) -> list[Finding]:
@@ -202,4 +240,5 @@ def audit_run(world: ChaosWorld) -> list[Finding]:
     _check_credit(world, findings)
     _check_drain(world, findings)
     _check_stats_ledger(world, findings)
+    _check_adaptive(world, findings)
     return findings

@@ -168,7 +168,27 @@ class ChaosReport:
 
 
 def _engine_params(spec: ChaosSpec) -> EngineParams:
-    """The fully hardened configuration every chaos run exercises."""
+    """The fully hardened configuration every chaos run exercises.
+
+    With ``spec.adaptive`` the static retransmit timeout is replaced by
+    the measured one (``rel_timeout_us="auto"``, clamped under the
+    spec's ``rel_rto_ceiling_us`` — the drill's fabric, not a switched
+    datacenter, sizes the cold-start RTO); everything else stays
+    identical, so an adaptive run differs from its static twin only in
+    how deadlines are derived — the fault schedule is the same.
+    """
+    if spec.adaptive:
+        return EngineParams(
+            reliability="ack",
+            flow_control="credit",
+            sessions="epoch",
+            rel_timeout_us="auto",
+            rel_rto_ceiling_us=spec.rel_rto_ceiling_us,
+            rel_ack_delay_us=10.0,
+            rel_retry_budget=spec.rel_retry_budget,
+            hb_interval_us=spec.hb_interval_us,
+            hb_timeout_us=spec.hb_timeout_us,
+        )
     return EngineParams(
         reliability="ack",
         flow_control="credit",

@@ -164,6 +164,26 @@ class ChaosSpec:
     #: capped so each core group keeps a survivor — the drill exercises
     #: rerouting, not a disconnected fabric.
     switch_kills: int = 0
+    #: Run the engines with ``rel_timeout_us="auto"`` (the adaptive RTT
+    #: estimator) instead of the static :attr:`rel_timeout_us`.  The
+    #: schedule generator never reads this flag, so two specs differing
+    #: only here expand to byte-identical fault lists — the basis of the
+    #: static-vs-adaptive comparison drill.
+    adaptive: bool = False
+    #: Clamp ceiling for the adaptive RTO (also the cold-start RTO while
+    #: the estimator warms up).  The engine default (10ms) is sized for
+    #: switched fabrics with millisecond port queues; the chaos drills
+    #: run fabrics whose drifted RTT stays well under a millisecond, and
+    #: a 10ms cold retransmit (doubled per backoff) would out-wait the
+    #: drill's own deadline+settle window, leaving stale timers in the
+    #: queue that the drain audit rightly flags.
+    rel_rto_ceiling_us: float = 2_000.0
+    #: Append an RTT-drift drill to the schedule: a long slow-link ramp
+    #: plus jitter windows on the workload path, sized so a static RTO
+    #: (``rel_timeout_us``) provably fires spuriously while an adaptive
+    #: one tracks the drift.  Composed from the existing ``slow`` and
+    #: ``jitter`` fault kinds — no new fault kind.
+    rtt_drift: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -190,15 +210,21 @@ class ChaosSpec:
             raise ReproError(
                 "switch_kills needs a switched topology "
                 "(topology='fat-tree'); a mesh has no switches")
+        if self.rel_rto_ceiling_us <= 0:
+            raise ReproError(
+                f"rel_rto_ceiling_us must be positive, "
+                f"got {self.rel_rto_ceiling_us}")
 
     @classmethod
     def quick(cls, crashes: bool = False, topology: str = "mesh",
-              fat_tree_k: int = 4, switch_kills: int = 0) -> ChaosSpec:
+              fat_tree_k: int = 4, switch_kills: int = 0,
+              adaptive: bool = False, rtt_drift: bool = False) -> ChaosSpec:
         """The CI sweep profile: smaller workload, same fault variety."""
         return cls(n_messages=8, msg_max_bytes=2048, max_faults=6,
                    deadline_us=30_000.0, crashes=crashes,
                    topology=topology, fat_tree_k=fat_tree_k,
-                   switch_kills=switch_kills)
+                   switch_kills=switch_kills, adaptive=adaptive,
+                   rtt_drift=rtt_drift)
 
 
 def _directed_pair(rng: Random, n_nodes: int) -> tuple[int, int]:
@@ -328,4 +354,32 @@ def generate_schedule(seed: int, spec: ChaosSpec) -> list[ChaosFault]:
             nth=rng.randrange(1 << 30),
             from_us=round(rng.uniform(active_us * 0.1, active_us * 0.5), 3),
         ))
+    # The RTT-drift drill: a long, severe slow-link ramp on the workload
+    # wire plus jitter on both directions of the path, built from the
+    # existing fault kinds.  Drawn AFTER every other fault so the shared
+    # rng stream leaves non-drift schedules byte-identical, but PREPENDED
+    # to the list so the per-link singleton ``slow``/``jitter`` slots in
+    # the runner (first-come wins) always belong to the drill.  The slow
+    # factor is sized against the MX profile (~2us hops) so the default
+    # static RTO (100us in chaos specs) provably retransmits spuriously
+    # inside the window, while a measured RTO rides it out.
+    if spec.rtt_drift:
+        start = round(rng.uniform(active_us * 0.05, active_us * 0.25), 3)
+        drift = [
+            ChaosFault(
+                kind="slow", src=0, dst=1,
+                factor=round(rng.uniform(48.0, 80.0), 2),
+                from_us=start,
+                until_us=round(start + rng.uniform(0.35, 0.6) * active_us,
+                               3)),
+            ChaosFault(
+                kind="jitter", src=0, dst=1,
+                max_us=round(rng.uniform(15.0, 45.0), 3),
+                rng_seed=rng.randrange(1 << 30)),
+            ChaosFault(
+                kind="jitter", src=1, dst=0,
+                max_us=round(rng.uniform(15.0, 45.0), 3),
+                rng_seed=rng.randrange(1 << 30)),
+        ]
+        faults[:0] = drift
     return faults

@@ -94,6 +94,16 @@ def build_parser() -> argparse.ArgumentParser:
                         default="off",
                         help="peer failure detection and session epochs "
                              "(default: off, the paper's crash-free engine)")
+    report.add_argument("--rel-timeout", default=None, metavar="US|auto",
+                        dest="rel_timeout",
+                        help="retransmit timeout: microseconds, or 'auto' "
+                             "for the adaptive RTT estimator (requires "
+                             "--reliability ack; default: the engine's "
+                             "static default)")
+    report.add_argument("--hedge", action="store_true",
+                        help="opt-in tail hedging: after a p99-ish RTT the "
+                             "frame is re-sent on the second-best rail "
+                             "(requires --rel-timeout auto and --rails 2)")
     report.add_argument("--rails", type=int, choices=(1, 2), default=1,
                         help="1 = MX only; 2 = MX + Quadrics multirail")
     report.add_argument("--topology",
@@ -146,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="fat_tree_k",
                        help="fat-tree arity for --topology fat-tree "
                             "(even, >= 4; default: 4)")
+    chaos.add_argument("--adaptive", action="store_true",
+                       help="run the engines with rel_timeout_us='auto' "
+                            "(the measured RTO) instead of the spec's "
+                            "static timeout")
+    chaos.add_argument("--rtt-drift", action="store_true", dest="rtt_drift",
+                       help="append an RTT-drift drill (slow-link ramp + "
+                            "jitter) to every schedule, sized so a static "
+                            "RTO fires spuriously")
     chaos.add_argument("--shrink", action="store_true",
                        help="minimize each failing schedule and print a "
                             "standalone repro snippet")
@@ -273,6 +291,12 @@ REPORT_STAT_GROUPS: tuple[tuple[str, tuple[str, ...]], ...] = (
     ("partition", (
         "peers_recovered", "frames_parked",
     )),
+    # Adaptive-timing counters (rel_timeout_us="auto" and per-request
+    # deadlines): estimator feed, backoff pressure, tail hedging, expiries.
+    ("adaptive", (
+        "rtt_samples", "rto_backoffs", "hedges_sent", "hedges_won",
+        "deadlines_expired",
+    )),
 )
 
 
@@ -280,7 +304,11 @@ def _report_payload(args, pair, messages, stalled) -> dict:
     """Structured report: one dict, rendered as text or dumped as JSON."""
     import dataclasses
 
-    from repro.netsim.stats import cluster_utilization, topology_summary
+    from repro.netsim.stats import (
+        adaptive_summary,
+        cluster_utilization,
+        topology_summary,
+    )
 
     grouped_fields = {f for _, fields in REPORT_STAT_GROUPS for f in fields}
     engines = []
@@ -302,6 +330,10 @@ def _report_payload(args, pair, messages, stalled) -> dict:
             },
             "window": {"peak_bytes": engine.window.peak_bytes,
                        "deferred": engine.collect.n_deferred},
+            # Per-peer RTT estimates: empty outside rel_timeout_us="auto",
+            # so the JSON shape is mode-independent.
+            "rtt": (adaptive_summary(engine.rtt.snapshot())
+                    if engine.rtt is not None else {}),
             "rails_ok": [r for r in range(len(engine.node.nics))
                          if engine.reliability.rail_ok(r)],
         })
@@ -311,6 +343,8 @@ def _report_payload(args, pair, messages, stalled) -> dict:
             "reliability": args.reliability,
             "flow_control": args.flow_control,
             "sessions": args.sessions,
+            "rel_timeout": args.rel_timeout,
+            "hedge": args.hedge,
             "messages": args.messages,
             "seed": args.seed,
             "topology": args.topology,
@@ -342,10 +376,11 @@ def _report(args, out) -> int:
     from repro.bench.backends import make_backend_pair
     from repro.bench.workloads import TrafficSpec, generate_messages, replay
     from repro.core import EngineParams
-    from repro.errors import NetworkError, SimulationError
+    from repro.errors import NetworkError, ReproError, SimulationError
     from repro.netsim import FaultPlan
     from repro.netsim.stats import (
         cluster_utilization,
+        render_adaptive,
         render_fault_summary,
         render_topology,
         render_utilization,
@@ -356,9 +391,27 @@ def _report(args, out) -> int:
     rails = ((MX_MYRI10G,) if args.rails == 1
              else (MX_MYRI10G, QUADRICS_QM500))
     strategy = "aggregation" if args.rails == 1 else "multirail"
-    params = EngineParams(reliability=args.reliability,
-                          flow_control=args.flow_control,
-                          sessions=args.sessions)
+    timing: dict = {}
+    if args.rel_timeout is not None:
+        if args.rel_timeout == "auto":
+            timing["rel_timeout_us"] = "auto"
+        else:
+            try:
+                timing["rel_timeout_us"] = float(args.rel_timeout)
+            except ValueError:
+                raise SystemExit(
+                    f"--rel-timeout must be a number or 'auto', "
+                    f"got {args.rel_timeout!r}") from None
+        # Echo the parsed value (not the raw flag string) in the report.
+        args.rel_timeout = timing["rel_timeout_us"]
+    if args.hedge:
+        timing["rel_hedge"] = "tail"
+    try:
+        params = EngineParams(reliability=args.reliability,
+                              flow_control=args.flow_control,
+                              sessions=args.sessions, **timing)
+    except (ReproError, ValueError) as exc:
+        raise SystemExit(f"invalid engine configuration: {exc}") from None
     pair = make_backend_pair("madmpi", rails=rails, strategy=strategy,
                              engine_params=params, topology=args.topology)
     if (args.drop_nth or args.slow_link is not None
@@ -414,6 +467,10 @@ def _report(args, out) -> int:
         lines.append("  [window]")
         for key, value in eng["window"].items():
             lines.append(f"    {key:<22} {value}")
+        if eng["rtt"]:
+            lines.append("  [rtt]")
+            for row in render_adaptive(eng["rtt"]).splitlines():
+                lines.append("    " + row)
         lines.append(f"  rails_ok: {eng['rails_ok']}")
         _print(out, "\n".join(lines))
     _print(out, render_utilization(cluster_utilization(pair.cluster)))
@@ -437,7 +494,8 @@ def _chaos(args, out) -> int:
     if args.seeds < 1:
         raise SystemExit("--seeds must be >= 1")
     topo = dict(topology=args.topology, fat_tree_k=args.fat_tree_k,
-                switch_kills=args.switch_kills)
+                switch_kills=args.switch_kills, adaptive=args.adaptive,
+                rtt_drift=args.rtt_drift)
     try:
         spec = (ChaosSpec.quick(crashes=args.crashes, **topo) if args.quick
                 else ChaosSpec(crashes=args.crashes, **topo))

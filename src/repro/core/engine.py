@@ -21,15 +21,20 @@ from repro.core.collect import CollectLayer
 from repro.core.data import SegmentData
 from repro.core.flowcontrol import FlowControlLayer
 from repro.core.matching import Incoming, Matcher
-from repro.core.packet import CancelItem, HeaderSpec, RdvReqItem, SegItem
+from repro.core.packet import (
+    CancelItem, HeaderSpec, PacketWrap, RdvReqItem, SegItem,
+)
 from repro.core.reliability import ReliabilityLayer
 from repro.core.rendezvous import RendezvousManager
 from repro.core.requests import ANY, RecvRequest, SendRequest
+from repro.core.rttstat import RttEstimator
 from repro.core.sessions import SessionLayer
 from repro.core.strategy import Strategy, create
 from repro.core.transfer import TransferLayer
 from repro.core.window import OptimizationWindow
-from repro.errors import MpiError, PeerDeadError, SimulationError
+from repro.errors import (
+    DeadlineExceededError, MpiError, PeerDeadError, SimulationError,
+)
 from repro.netsim.node import Node
 from repro.netsim.profiles import NicProfile
 from repro.sim import Event, Tracer
@@ -79,8 +84,25 @@ class EngineParams:
     #: ack/retransmit protocol with rail failover.
     reliability: str = "off"
     #: Initial retransmit timeout, doubled (``rel_backoff``) per retry.
-    rel_timeout_us: float = 200.0
+    #: The string ``"auto"`` (requires ``reliability="ack"``) replaces the
+    #: static constant with a measured one: per-peer Jacobson SRTT/RTTVAR
+    #: estimation (see :mod:`repro.core.rttstat`) derives the RTO as
+    #: ``rel_rto_headroom * (srtt + 4*rttvar)`` clamped into
+    #: ``[rel_rto_floor_us, rel_rto_ceiling_us]``.
+    rel_timeout_us: float | str = 200.0
     rel_backoff: float = 2.0
+    #: Clamp bounds and queueing headroom for the ``"auto"`` RTO.  The
+    #: ceiling doubles as the conservative pre-measurement RTO.
+    rel_rto_floor_us: float = 50.0
+    rel_rto_ceiling_us: float = 10_000.0
+    rel_rto_headroom: float = 2.0
+    #: Opt-in tail hedging (requires ``rel_timeout_us="auto"`` and >= 2
+    #: rails): ``"tail"`` re-sends a frame on the *second-best* rail once
+    #: it has been outstanding past a p99-ish quantile of that rail's
+    #: observed RTT, while the original stays in flight — duplicate
+    #: suppression absorbs whichever copy loses.  ``"off"`` (default)
+    #: never hedges.
+    rel_hedge: str = "off"
     #: Retransmissions per frame before the send fails with TransportError.
     rel_retry_budget: int = 8
     #: Reverse-silence window before a standalone ack frame is emitted.
@@ -159,8 +181,35 @@ class EngineParams:
                 f"unknown reliability mode {self.reliability!r}; "
                 "expected off | ack"
             )
-        if self.rel_timeout_us <= 0:
+        if isinstance(self.rel_timeout_us, str):
+            if self.rel_timeout_us != "auto":
+                raise ValueError(
+                    f"unknown rel_timeout_us {self.rel_timeout_us!r}; "
+                    "expected a positive number or 'auto'"
+                )
+            if self.reliability != "ack":
+                raise ValueError(
+                    "rel_timeout_us='auto' needs reliability='ack': the "
+                    "RTT estimator samples the ack machinery"
+                )
+        elif self.rel_timeout_us <= 0:
             raise ValueError("retransmit timeout must be positive")
+        if self.rel_rto_floor_us <= 0:
+            raise ValueError("RTO floor must be positive")
+        if self.rel_rto_ceiling_us < self.rel_rto_floor_us:
+            raise ValueError("RTO ceiling must be >= floor")
+        if self.rel_rto_headroom < 1.0:
+            raise ValueError("RTO headroom must be >= 1")
+        if self.rel_hedge not in ("off", "tail"):
+            raise ValueError(
+                f"unknown rel_hedge mode {self.rel_hedge!r}; "
+                "expected off | tail"
+            )
+        if self.rel_hedge == "tail" and self.rel_timeout_us != "auto":
+            raise ValueError(
+                "rel_hedge='tail' needs rel_timeout_us='auto': the hedge "
+                "delay is a quantile of the measured RTT"
+            )
         if self.rel_backoff < 1.0:
             raise ValueError("retransmit backoff must be >= 1")
         if self.rel_retry_budget < 1:
@@ -213,6 +262,11 @@ class EngineParams:
                 "dead before a single probe could round-trip"
             )
 
+    @property
+    def rel_adaptive(self) -> bool:
+        """True when the retransmit timeout is measured, not configured."""
+        return self.rel_timeout_us == "auto"
+
     def per_mtu_cost(self, profile: NicProfile) -> float:
         """Data-path inspection cost per MTU for this driver."""
         for tech, cost in self.per_mtu_cost_by_tech:
@@ -260,6 +314,13 @@ class EngineStats:
     # Partition-tolerance counters (all zero in "off" mode).
     peers_recovered: int = 0       # suspects that resumed contact (no teardown)
     frames_parked: int = 0         # outbound frames held while a peer was suspect
+    # Adaptive-timing counters (all zero outside rel_timeout_us="auto",
+    # except deadlines_expired which any deadline_us request can bump).
+    rtt_samples: int = 0           # acks that fed the estimator (Karn-eligible)
+    rto_backoffs: int = 0          # retransmits that doubled an adaptive RTO
+    hedges_sent: int = 0           # tail re-sends on the second-best rail
+    hedges_won: int = 0            # hedged frames whose ack beat the original
+    deadlines_expired: int = 0     # requests failed by their deadline_us
 
 
 class NmadEngine:
@@ -311,6 +372,17 @@ class NmadEngine:
         # True once this engine's node crashed: every timer closure and
         # idle callback of the dead incarnation checks it and goes silent.
         self.halted = False
+        # Adaptive timing (rel_timeout_us="auto"): one estimator shared by
+        # the reliability RTO, the session failure detector, and the
+        # flow-control pacing timers.  None in static mode — the layers
+        # check for it, so static-mode behaviour is provably untouched.
+        self.rtt: RttEstimator | None = None
+        if self.params.rel_adaptive:
+            self.rtt = RttEstimator(
+                floor_us=self.params.rel_rto_floor_us,
+                ceiling_us=self.params.rel_rto_ceiling_us,
+                headroom=self.params.rel_rto_headroom,
+            )
         # The session layer must exist before the reliability layer (which
         # caches it as its transmit gate) and the transfer layer (which
         # routes the receive funnel through it in "epoch" mode).
@@ -350,9 +422,18 @@ class NmadEngine:
         rail: int | None = None,
         allow_reorder: bool = True,
         depends_on: int | None = None,
+        deadline_us: float | None = None,
     ) -> SendRequest:
         """Nonblocking send; returns a handle whose ``done`` event fires
-        when the data has fully left this node."""
+        when the data has fully left this node.
+
+        ``deadline_us`` bounds the virtual time the request may stay
+        pending: on expiry a send whose data has not left the node is
+        retracted exactly like :meth:`cancel` and fails with
+        :class:`~repro.errors.DeadlineExceededError`; once the data is
+        mid-flight the deadline lapses (too late, like MPI_Cancel on a
+        matched send).
+        """
         if self.sessions.is_dead(dest):
             raise PeerDeadError(
                 f"node{self.node_id}: isend to node {dest}, a peer "
@@ -363,7 +444,10 @@ class NmadEngine:
             allow_reorder=allow_reorder, depends_on=depends_on,
         )
         assert wrap.completion is not None
-        return SendRequest(wrap, wrap.completion)
+        req = SendRequest(wrap, wrap.completion)
+        if deadline_us is not None:
+            self._arm_deadline(req, deadline_us)
+        return req
 
     def irecv(
         self,
@@ -371,8 +455,15 @@ class NmadEngine:
         tag: int = ANY,
         flow: int = 0,
         nbytes: int | None = None,
+        deadline_us: float | None = None,
     ) -> RecvRequest:
-        """Nonblocking receive; ``nbytes`` bounds acceptable message size."""
+        """Nonblocking receive; ``nbytes`` bounds acceptable message size.
+
+        ``deadline_us`` bounds the virtual time the receive may stay
+        unmatched: on expiry it is unposted and fails with
+        :class:`~repro.errors.DeadlineExceededError`; a receive already
+        matched (data landing) completes normally.
+        """
         if src != ANY and self.sessions.is_dead(src):
             raise PeerDeadError(
                 f"node{self.node_id}: irecv from node {src}, a peer "
@@ -388,8 +479,50 @@ class NmadEngine:
             # A sourced receive is a liveness interest: watch the peer so
             # its death fails this request instead of hanging it forever.
             self.sessions.note_interest(src)
+        if deadline_us is not None:
+            self._arm_deadline(req, deadline_us)
         self.poke_watchdog()
         return req
+
+    # -- per-request deadlines -----------------------------------------------
+    def _arm_deadline(
+        self, req: SendRequest | RecvRequest, deadline_us: float
+    ) -> None:
+        if deadline_us <= 0:
+            raise MpiError(
+                f"node{self.node_id}: deadline_us must be positive, "
+                f"got {deadline_us}"
+            )
+        self.sim.schedule(deadline_us,
+                          lambda: self._deadline_fire(req, deadline_us))
+
+    def _deadline_fire(
+        self, req: SendRequest | RecvRequest, deadline_us: float
+    ) -> None:
+        # A completed request (either way) or a halted engine makes the
+        # timer a no-op — deadlines never fail anything retroactively.
+        if self.halted or req.done.triggered:
+            return
+        if isinstance(req, RecvRequest):
+            if not self.matcher.unpost(req, now=self.sim.now):
+                return  # already matched: the data is landing, let it
+            err = DeadlineExceededError(
+                f"node{self.node_id}: receive (src={req.src} "
+                f"flow={req.flow} tag={req.tag}) unmatched after its "
+                f"{deadline_us:g}us deadline"
+            )
+            self.stats.deadlines_expired += 1
+            req.done.fail(err)
+            req.done.defuse()
+            self.tracer.emit(self.sim.now, f"node{self.node_id}.engine",
+                             "deadline_expired", side="recv", tag=req.tag)
+            return
+        err = DeadlineExceededError(
+            f"node{self.node_id}: send {req.wrap!r} still pending after "
+            f"its {deadline_us:g}us deadline"
+        )
+        if self._retract_send(req.wrap, err, trace="deadline_expired"):
+            self.stats.deadlines_expired += 1
 
     def cancel(self, request: SendRequest) -> bool:
         """Cancel a send that has not been scheduled yet.
@@ -409,17 +542,31 @@ class NmadEngine:
         (dest, flow) stream, a tiny tombstone record travels in its place
         so the receiver's in-order machinery never stalls on the hole.
         """
+        wrap = request.wrap
+        return self._retract_send(
+            wrap, MpiError(f"send cancelled: {wrap!r}"), trace="cancel")
+
+    def _retract_send(
+        self, wrap: PacketWrap, err: MpiError, trace: str
+    ) -> bool:
+        """Pull an unscheduled wrap back out of the engine and fail it.
+
+        The shared back-out machinery of :meth:`cancel` and the
+        per-request deadline path: a deferred submission is simply
+        dropped; a wrap in the optimization window (or inside an
+        anticipated packet, unwound first) is taken out and replaced by a
+        tombstone for its consumed sequence number.  Returns ``False`` —
+        and fails nothing — when the data already left the node.
+        """
         from repro.errors import StrategyError
 
-        wrap = request.wrap
         if self.collect.cancel_deferred(wrap):
             # Never admitted: no sequence number consumed, no tombstone due.
             if wrap.completion is not None and not wrap.completion.triggered:
-                err = MpiError(f"send cancelled: {wrap!r}")
                 wrap.completion.fail(err)
                 wrap.completion.defuse()
             self.tracer.emit(self.sim.now, f"node{self.node_id}.collect",
-                             "cancel", wrap=wrap.wrap_id)
+                             trace, wrap=wrap.wrap_id)
             return True
         try:
             self.window.take(wrap)
@@ -430,14 +577,13 @@ class NmadEngine:
             # tombstone submission below re-kicks scheduling for the rest.
             self.window.take(wrap)
         if wrap.completion is not None and not wrap.completion.triggered:
-            err = MpiError(f"send cancelled: {wrap!r}")
             wrap.completion.fail(err)
             wrap.completion.defuse()
         tombstone = CancelItem(src=self.node_id, flow=wrap.flow,
                                tag=wrap.tag, seq=wrap.seq)
         self.collect.submit_control(dest=wrap.dest, item=tombstone)
         self.tracer.emit(self.sim.now, f"node{self.node_id}.collect",
-                         "cancel", wrap=wrap.wrap_id)
+                         trace, wrap=wrap.wrap_id)
         return True
 
     # -- blocking helpers for simulator processes -----------------------------

@@ -251,13 +251,44 @@ class FlowControlLayer:
         frame.fc_grant = self._advertise(st)
         frame.wire_size += self.params.hdr.credit_header
 
+    def _grant_delay_us(self, peer: int) -> float:
+        """Coalescing delay before a standalone credit grant to ``peer``.
+
+        The configured ``credit_grant_delay_us`` unless the adaptive
+        timing layer (``rel_timeout_us="auto"``) holds a warm estimate
+        for the peer: then half the smoothed RTT, floored at 1us — waiting longer
+        than a plausible reverse frame forfeits the piggyback *and* stalls
+        the sender, so a measured fast path releases credit sooner.  The
+        configured value stays the ceiling (never slower than static).
+        """
+        rtt = self.engine.rtt
+        if rtt is None or not rtt.warm(peer):
+            return self._grant_delay
+        srtt = rtt.srtt_us(peer)
+        if srtt is None:
+            return self._grant_delay
+        return min(self._grant_delay, max(1.0, srtt / 2.0))
+
+    def _nack_resend_base_us(self, peer: int) -> float:
+        """Base delay before re-submitting a NACKed segment to ``peer``.
+
+        The configured ``nack_delay_us``, or the peer's adaptive RTO when
+        that is larger: a NACK means the receiver is out of resources, and
+        retrying faster than a round trip can drain anything only earns
+        the next NACK (the exponential streak backoff still multiplies).
+        """
+        rtt = self.engine.rtt
+        if rtt is None or not rtt.warm(peer):
+            return self.params.nack_delay_us
+        return max(self.params.nack_delay_us, rtt.rto_us(peer))
+
     def _schedule_grant(self, st: _PeerCredit) -> None:
         if st.grant_pending:
             return
         st.grant_pending = True
         st.grant_gen += 1
         gen = st.grant_gen
-        self.sim.schedule(self._grant_delay,
+        self.sim.schedule(self._grant_delay_us(st.peer),
                           lambda: self._grant_fire(st, gen))
 
     def _grant_fire(self, st: _PeerCredit, gen: int) -> None:
@@ -328,7 +359,7 @@ class FlowControlLayer:
         st = self._peer(peer)
         st.nack_streak += 1
         backoff = min(2 ** (st.nack_streak - 1), _MAX_NACK_BACKOFF)
-        delay = self.params.nack_delay_us * backoff
+        delay = self._nack_resend_base_us(peer) * backoff
         self.engine.tracer.emit(self.sim.now, self._name, "nack_rx",
                                 peer=peer, seq=item.seq, delay_us=delay)
         self._pending_resends += 1

@@ -226,6 +226,22 @@ class Matcher:
                 return
         self._posted.append(req)
 
+    def unpost(self, req: RecvRequest, now: float = 0.0) -> bool:
+        """Withdraw a still-unmatched posted receive (deadline expiry).
+
+        Returns ``True`` when the request was waiting and is now gone —
+        the caller owns failing its completion.  ``False`` means the
+        receive already matched (or was never posted): too late to
+        withdraw, the data is landing.
+        """
+        try:
+            self._posted.remove(req)
+        except ValueError:
+            return False
+        self.tracer.emit(now, self.name, "unpost",
+                         src=req.src, flow=req.flow, tag=req.tag)
+        return True
+
     # -- probing (MPI_Probe / MPI_Iprobe support) ----------------------------
     @staticmethod
     def _probe_matches(inc: Incoming, src: int, flow: int, tag: int) -> bool:

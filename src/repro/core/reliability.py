@@ -62,7 +62,7 @@ class _Pending:
     """One unacknowledged frame in a peer channel's send buffer."""
 
     __slots__ = ("seq", "frame", "cpu_gap_us", "on_delivered", "on_failed",
-                 "rail", "retries", "deadline")
+                 "rail", "retries", "deadline", "sent_at", "hedged_at")
 
     def __init__(self, seq: int, frame: Frame, cpu_gap_us: float,
                  on_delivered: Callable[[], None] | None,
@@ -76,13 +76,19 @@ class _Pending:
         self.rail = rail           # rail of the most recent transmission
         self.retries = 0
         self.deadline: float | None = None  # None while queued/in tx
+        # First-transmission completion time: the RTT sample anchor.  Karn's
+        # rule falls out of the bookkeeping — a retransmitted (retries > 0)
+        # or hedged (hedged_at set) frame never feeds the estimator, because
+        # its ack cannot be attributed to one transmission.
+        self.sent_at: float | None = None
+        self.hedged_at: float | None = None
 
 
 class _Channel:
     """Both directions of the reliability state towards one peer."""
 
     __slots__ = ("peer", "next_seq", "unacked", "rto_us", "timer_gen",
-                 "rx_cum", "rx_sacks", "ack_pending", "ack_gen")
+                 "hedge_gen", "rx_cum", "rx_sacks", "ack_pending", "ack_gen")
 
     def __init__(self, peer: int, rto_us: float) -> None:
         self.peer = peer
@@ -91,6 +97,7 @@ class _Channel:
         self.unacked: dict[int, _Pending] = {}
         self.rto_us = rto_us
         self.timer_gen = 0
+        self.hedge_gen = 0
         # Receive half.
         self.rx_cum = 0                 # every seq < rx_cum was received
         self.rx_sacks: set[int] = set() # received beyond the cumulative edge
@@ -115,6 +122,12 @@ class ReliabilityLayer:
         # The session layer gates every transmit (constructed just before
         # this layer); in sessions="off" mode the gate is never consulted.
         self._sessions = engine.sessions
+        # Adaptive timing: the engine-owned estimator, or None in static
+        # mode.  _static_rto_us is the configured constant when static.
+        self._rtt = engine.rtt
+        self._static_rto_us: float | None = (
+            None if engine.params.rel_adaptive
+            else float(engine.params.rel_timeout_us))
         self._channels: dict[int, _Channel] = {}
         #: Rails the health tracker has taken out of service.
         self.quarantined: set[int] = set()
@@ -146,10 +159,19 @@ class ReliabilityLayer:
         ch = self._channels.get(peer)
         return ch is not None and bool(ch.unacked or ch.ack_pending)
 
+    def _rto_base_us(self, peer: int) -> float:
+        """The un-backed-off retransmit timeout towards ``peer``: the
+        measured (clamped, headroomed) estimate in auto mode, the
+        configured constant otherwise."""
+        if self._rtt is not None:
+            return self._rtt.rto_us(peer)
+        assert self._static_rto_us is not None
+        return self._static_rto_us
+
     def _channel(self, peer: int) -> _Channel:
         ch = self._channels.get(peer)
         if ch is None:
-            ch = _Channel(peer, rto_us=self.params.rel_timeout_us)
+            ch = _Channel(peer, rto_us=self._rto_base_us(peer))
             self._channels[peer] = ch
         return ch
 
@@ -197,8 +219,62 @@ class ReliabilityLayer:
         """A (re)transmission fully left the NIC: start its retry clock."""
         if pending.seq not in ch.unacked:
             return  # acked while still queued on the card
+        if pending.retries == 0 and pending.sent_at is None:
+            pending.sent_at = self.sim.now
+            self._maybe_arm_hedge(ch, pending)
         pending.deadline = self.sim.now + ch.rto_us
         self._arm_timer(ch)
+
+    # -- tail hedging ---------------------------------------------------------
+    def _maybe_arm_hedge(self, ch: _Channel, pending: _Pending) -> None:
+        """Arm the tail re-send for a freshly transmitted frame.
+
+        Only in ``rel_hedge="tail"`` mode with a warm estimate for the
+        frame's rail: once the frame has been outstanding past a p99-ish
+        quantile of that rail's observed RTT, one copy goes out on the
+        second-best rail while the original stays in flight.  Duplicate
+        suppression absorbs whichever copy loses; the hedge never scores a
+        loss, never counts as a retransmit, and never feeds the estimator.
+        """
+        if self.params.rel_hedge != "tail" or self._rtt is None:
+            return
+        if len(self.nics) < 2:
+            return
+        delay = self._rtt.hedge_delay_us(ch.peer, pending.rail)
+        if delay is None:
+            return  # estimate too cold to call anything a tail
+        gen = ch.hedge_gen
+        self.sim.schedule(delay, lambda: self._hedge_fire(ch, pending, gen))
+
+    def _hedge_fire(self, ch: _Channel, pending: _Pending, gen: int) -> None:
+        if gen != ch.hedge_gen:
+            return  # peer torn down / node halted since arming
+        if (pending.seq not in ch.unacked or pending.retries
+                or pending.hedged_at is not None):
+            return  # acked, already retransmitting, or already hedged
+        rail = self._second_best_rail(ch.peer, exclude=pending.rail)
+        if rail is None:
+            return  # no healthy alternative rail to hedge on
+        pending.hedged_at = self.sim.now
+        self.engine.stats.hedges_sent += 1
+        frame = pending.frame
+        frame.rel_ack = self._ack_snapshot(ch)
+        self._cancel_delayed_ack(ch)
+        self.engine.tracer.emit(self.sim.now, self._name, "hedge",
+                                seq=pending.seq, peer=ch.peer,
+                                from_rail=pending.rail, to_rail=rail)
+        # The original keeps its retry clock and its loss attribution; the
+        # hedge copy is fire-and-forget (same seq, so the receiver dedups).
+        self.nics[rail].post_send(frame, cpu_gap_us=pending.cpu_gap_us)
+
+    def _second_best_rail(self, peer: int, exclude: int) -> int | None:
+        """Least-congested healthy rail other than ``exclude``, if any."""
+        candidates = [r for r, nic in enumerate(self.nics)
+                      if r != exclude and r not in self.quarantined
+                      and nic.has_peer(peer)]
+        if not candidates:
+            return None
+        return min(candidates, key=self._rail_score)
 
     def _arm_timer(self, ch: _Channel) -> None:
         deadlines = [p.deadline for p in ch.unacked.values()
@@ -236,7 +312,9 @@ class ReliabilityLayer:
                                     from_rail=pending.rail, to_rail=rail)
             pending.rail = rail
         ch.rto_us = min(ch.rto_us * params.rel_backoff,
-                        64.0 * params.rel_timeout_us)
+                        64.0 * self._rto_base_us(ch.peer))
+        if self._rtt is not None:
+            self.engine.stats.rto_backoffs += 1
         pending.deadline = None
         frame = pending.frame
         frame.rel_ack = self._ack_snapshot(ch)
@@ -299,7 +377,12 @@ class ReliabilityLayer:
     def _probe_base_us(self) -> float:
         """The first half-open probe delay (0 in params = auto-derive)."""
         configured = self.params.rel_probe_after_us
-        return configured if configured > 0.0 else 32.0 * self.params.rel_timeout_us
+        if configured > 0.0:
+            return configured
+        if self._rtt is not None:
+            return 32.0 * self._rtt.global_rto_us()
+        assert self._static_rto_us is not None
+        return 32.0 * self._static_rto_us
 
     def _schedule_probe(self, rail: int) -> None:
         """Arm the half-open recovery probe for a freshly quarantined rail.
@@ -419,15 +502,31 @@ class ReliabilityLayer:
         acked = sorted(s for s in ch.unacked if s < cum or s in sackset)
         if not acked:
             return
+        now = self.sim.now
         for seq in acked:
             pending = ch.unacked.pop(seq)
             self.rail_losses[pending.rail] = 0
             # Proof of life: the rail carried an acked frame, so the next
             # quarantine (if any) starts from the base probe window again.
             self._probe_backoff.pop(pending.rail, None)
+            if self._rtt is not None and pending.sent_at is not None:
+                if pending.retries == 0 and pending.hedged_at is None:
+                    # Karn's rule: only a frame transmitted exactly once
+                    # (never retried, never hedged) yields an unambiguous
+                    # RTT measurement.
+                    self._rtt.sample(peer, pending.rail,
+                                     now - pending.sent_at)
+                    self.engine.stats.rtt_samples += 1
+                elif pending.hedged_at is not None and pending.retries == 0:
+                    # Attribution heuristic: the hedge "won" when the ack
+                    # materialized faster after the hedge went out than the
+                    # original had managed in its entire head start.
+                    if (now - pending.hedged_at
+                            < pending.hedged_at - pending.sent_at):
+                        self.engine.stats.hedges_won += 1
             if pending.on_delivered is not None:
                 pending.on_delivered()
-        ch.rto_us = self.params.rel_timeout_us  # fresh RTT evidence
+        ch.rto_us = self._rto_base_us(peer)  # fresh RTT evidence
         self._arm_timer(ch)
 
     # -- acknowledgement generation ------------------------------------------
@@ -482,10 +581,14 @@ class ReliabilityLayer:
         if ch is None:
             return
         ch.timer_gen += 1              # pending _on_timer becomes a no-op
+        ch.hedge_gen += 1              # pending _hedge_fire likewise
         self._cancel_delayed_ack(ch)   # pending _delayed_ack_fire likewise
         pendings = sorted(ch.unacked.values(), key=lambda p: p.seq)
         ch.unacked.clear()
         del self._channels[peer]
+        if self._rtt is not None:
+            # The next incarnation's path may be nothing like this one's.
+            self._rtt.forget_peer(peer)
         self.engine.tracer.emit(self.sim.now, self._name, "reset_peer",
                                 peer=peer, dropped=len(pendings))
         for pending in pendings:
@@ -496,6 +599,7 @@ class ReliabilityLayer:
         """This node crashed: silence every timer, run no callbacks."""
         for ch in self._channels.values():
             ch.timer_gen += 1
+            ch.hedge_gen += 1
             ch.ack_pending = False
             ch.ack_gen += 1
             ch.unacked.clear()

@@ -25,7 +25,9 @@ process failure:
   flight).  Heartbeats are idle-only — reverse traffic counts as
   liveness, like the reliability layer's piggybacked acks — and run on
   virtual-time timers: after ``hb_timeout_us/2`` of silence a peer is
-  *suspected*, after ``hb_timeout_us`` it is *confirmed dead*;
+  *suspected*, after ``hb_timeout_us`` it is *confirmed dead* (under
+  ``rel_timeout_us="auto"`` the budget tightens per peer to four
+  adaptive RTOs, with the configured value as the ceiling);
 * a suspected peer is **not** a dead peer: new outbound frames towards a
   suspect are *parked* in the same per-peer FIFO the handshake uses
   (``frames_parked``) while heartbeats keep probing.  When contact
@@ -353,7 +355,7 @@ class SessionLayer:
         exc = PeerDeadError(
             f"node{self.engine.node_id}: node {st.peer} declared dead after "
             f"{self.sim.now - st.last_heard_us:g}us of silence "
-            f"(hb_timeout_us={self.params.hb_timeout_us:g})"
+            f"(hb_timeout_us={self._hb_timeout_us(st.peer):g})"
         )
         self.engine.tracer.emit(self.sim.now, self._name, "peer_dead",
                                 peer=st.peer,
@@ -422,6 +424,24 @@ class SessionLayer:
             or engine.matcher.has_posted_from(peer)
         )
 
+    def _hb_timeout_us(self, peer: int) -> float:
+        """Effective silence budget before declaring ``peer`` dead.
+
+        The static ``hb_timeout_us`` unless the engine runs the adaptive
+        timing layer (``rel_timeout_us="auto"``) *and* holds a warm
+        estimate for the peer: then the deadline tightens to four
+        adaptive RTOs — long enough that a lost heartbeat round does not
+        kill a healthy peer, yet scaled to the measured path instead of
+        a hand-tuned constant.  Clamped to at least ``4 * hb_interval_us`` so the
+        idle-prober gets several shots before the verdict, and never
+        above the configured static bound (the operator's ceiling).
+        """
+        rtt = self.engine.rtt
+        if rtt is None or not rtt.warm(peer):
+            return self.params.hb_timeout_us
+        eff = max(4.0 * rtt.rto_us(peer), 4.0 * self.params.hb_interval_us)
+        return min(eff, self.params.hb_timeout_us)
+
     def _arm_monitor(self, st: _PeerSession) -> None:
         if st.mon_armed or st.sess_state == "dead":
             return
@@ -448,10 +468,11 @@ class SessionLayer:
             return
         now = self.sim.now
         silence = now - st.last_heard_us
-        if silence >= self.params.hb_timeout_us:
+        hb_timeout_us = self._hb_timeout_us(st.peer)
+        if silence >= hb_timeout_us:
             self._declare_dead(st)
             return
-        if silence >= self.params.hb_timeout_us / 2.0 and not st.suspect:
+        if silence >= hb_timeout_us / 2.0 and not st.suspect:
             st.suspect = True
             self.engine.stats.peers_suspected += 1
             self.engine.tracer.emit(now, self._name, "suspect",

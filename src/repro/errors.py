@@ -113,6 +113,20 @@ class CommRevokedError(MpiError):
     """
 
 
+class DeadlineExceededError(MpiError):
+    """A request's per-call deadline expired before it could complete.
+
+    Only raised when the caller passed ``deadline_us`` to ``isend`` /
+    ``irecv`` (engine-native or MAD-MPI): when the virtual-time budget
+    runs out, a still-pending send is retracted from the optimization
+    window (or its anticipated packet) exactly like ``cancel()`` and a
+    still-unmatched receive is unposted, then the request fails with this
+    error — surfaced through ``wait``/``test`` like every other
+    request-level failure.  A request that already completed, or a send
+    whose data already left the node, is never failed retroactively.
+    """
+
+
 class WindowFullError(MpiError):
     """A send was refused because the optimization window is at capacity.
 

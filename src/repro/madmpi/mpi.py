@@ -69,6 +69,7 @@ class MadMpi:
         comm: Communicator | None = None,
         datatype: Datatype | None = None,
         priority: int = 0,
+        deadline_us: float | None = None,
     ) -> MpiRequest:
         """Nonblocking send to ``dest`` (a rank in ``comm``).
 
@@ -79,12 +80,21 @@ class MadMpi:
         latency); with ``window_policy="fail"`` this call raises
         :class:`~repro.errors.WindowFullError` (an :class:`MpiError`)
         synchronously, like an MPI implementation out of request slots.
+
+        ``deadline_us`` (relative virtual time) bounds how long the send
+        may stay pending: if it expires while the data has not left the
+        node the request fails with
+        :class:`~repro.errors.DeadlineExceededError` through
+        ``wait``/``test`` (a datatype send fails as a unit once any block
+        is retracted); once the transfer is underway the deadline lapses,
+        like ``MPI_Cancel`` on a matched send.
         """
         comm = self._live_comm(comm)
         node = comm.node_of(dest)
         if datatype is None:
             wrap_req = self.engine.isend(node, data, tag=tag, flow=comm.id,
-                                         priority=priority)
+                                         priority=priority,
+                                         deadline_us=deadline_us)
             req = MpiRequest(wrap_req.done, kind="send")
             return req
         # One engine request per datatype block (paper §5.3).
@@ -93,7 +103,8 @@ class MadMpi:
             raise MpiError("cannot send an empty datatype")
         sub = [
             self.engine.isend(node, self._block_data(data, disp, length),
-                              tag=tag, flow=comm.id, priority=priority)
+                              tag=tag, flow=comm.id, priority=priority,
+                              deadline_us=deadline_us)
             for disp, length in blocks
         ]
         done = self.sim.all_of([s.done for s in sub])
@@ -106,13 +117,22 @@ class MadMpi:
         comm: Communicator | None = None,
         nbytes: int | None = None,
         datatype: Datatype | None = None,
+        deadline_us: float | None = None,
     ) -> MpiRequest:
-        """Nonblocking receive from ``source`` (a rank in ``comm`` or ANY)."""
+        """Nonblocking receive from ``source`` (a rank in ``comm`` or ANY).
+
+        ``deadline_us`` (relative virtual time) bounds how long the
+        receive may stay unmatched: on expiry the posted receive is
+        withdrawn and the request fails with
+        :class:`~repro.errors.DeadlineExceededError` through
+        ``wait``/``test``; a receive that matched in time completes
+        normally even if the data copy finishes after the deadline.
+        """
         comm = self._live_comm(comm)
         src_node = ANY if source == ANY else comm.node_of(source)
         if datatype is None:
             sub = self.engine.irecv(src=src_node, tag=tag, flow=comm.id,
-                                    nbytes=nbytes)
+                                    nbytes=nbytes, deadline_us=deadline_us)
             req = MpiRequest(self.sim.event(), kind="recv")
 
             def _finish(evt):
@@ -135,7 +155,7 @@ class MadMpi:
             raise MpiError("cannot receive into an empty datatype")
         subs = [
             self.engine.irecv(src=src_node, tag=tag, flow=comm.id,
-                              nbytes=length)
+                              nbytes=length, deadline_us=deadline_us)
             for _, length in blocks
         ]
         done = self.sim.event()

@@ -331,6 +331,11 @@ class Link:
         self.frames_reordered = 0
         self.frames_jittered = 0
         self.frames_partition_dropped = 0
+        #: Drops of frames already carrying the ``corrupted`` flag from an
+        #: earlier hop — the chaos auditor's corrupt-conservation bound
+        #: needs them: such a frame is neither discarded by an engine nor
+        #: visible in any switch counter.
+        self.frames_corrupt_dropped = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.bytes_dropped = 0
@@ -378,6 +383,8 @@ class Link:
             self.bytes_dropped += frame.wire_size
             if action == DROP_PARTITION:
                 self.frames_partition_dropped += 1
+            if frame.corrupted:
+                self.frames_corrupt_dropped += 1
             if (isinstance(self.fault_plan, FaultPlan)
                     and self.fault_plan.down_at_us is not None
                     and self.sim.now >= self.fault_plan.down_at_us):

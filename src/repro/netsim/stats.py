@@ -15,9 +15,10 @@ from typing import Any
 from repro.netsim.nic import Nic
 from repro.netsim.topology import Cluster
 
-__all__ = ["NicUtilization", "SWITCH_COUNTERS", "nic_utilization",
-           "cluster_utilization", "render_utilization",
-           "render_fault_summary", "topology_summary", "render_topology"]
+__all__ = ["NicUtilization", "SWITCH_COUNTERS", "RTT_SNAPSHOT_KEYS",
+           "nic_utilization", "cluster_utilization", "render_utilization",
+           "render_fault_summary", "topology_summary", "render_topology",
+           "adaptive_summary", "render_adaptive"]
 
 #: Every per-switch integer counter, in report order.  This is the
 #: NM304-style registry for the topology layer: the ``--json`` report and
@@ -161,6 +162,46 @@ def topology_summary(cluster: Cluster) -> dict[str, Any]:
     summary["ecmp_spread"] = (max(spine_loads) - min(spine_loads)
                               if spine_loads else 0)
     return summary
+
+
+#: Per-peer keys of one :meth:`~repro.core.rttstat.RttEstimator.snapshot`
+#: entry, in report order.  The ``--json`` report emits exactly these keys
+#: per measured peer and the registry test pins the tuple against the
+#: estimator, in the same spirit as :data:`SWITCH_COUNTERS`.
+RTT_SNAPSHOT_KEYS: tuple[str, ...] = (
+    "srtt_us",
+    "rttvar_us",
+    "rto_us",
+    "samples",
+)
+
+
+def adaptive_summary(
+    snapshot: dict[int, dict[str, float | int]],
+) -> dict[str, dict[str, float | int]]:
+    """JSON-ready view of an RTT-estimator snapshot.
+
+    Takes the raw per-peer dump from
+    :meth:`~repro.core.rttstat.RttEstimator.snapshot` and stringifies the
+    peer keys (JSON objects cannot have integer keys); entries keep
+    exactly the :data:`RTT_SNAPSHOT_KEYS`.  An engine without the
+    adaptive layer contributes an empty dict, so consumers never
+    special-case the mode.
+    """
+    return {str(peer): dict(entry) for peer, entry in snapshot.items()}
+
+
+def render_adaptive(peers: dict[str, dict[str, float | int]]) -> str:
+    """Aligned text table of per-peer RTT estimates (``repro report``)."""
+    lines = [f"{'peer':<6} {'srtt us':>9} {'rttvar us':>10} {'rto us':>9} "
+             f"{'samples':>8}"]
+    for peer in sorted(peers, key=int):
+        e = peers[peer]
+        lines.append(
+            f"{peer:<6} {e['srtt_us']:>9.2f} {e['rttvar_us']:>10.2f} "
+            f"{e['rto_us']:>9.2f} {e['samples']:>8}"
+        )
+    return "\n".join(lines)
 
 
 def render_topology(summary: dict[str, Any]) -> str:

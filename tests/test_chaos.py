@@ -367,6 +367,38 @@ class TestScheduleGenerator:
                          [ChaosFault(kind="crash", src=1,
                                      from_us=10.0, until_us=500.0)])
 
+    def test_rtt_drift_prepends_a_drift_drill(self):
+        plain = ChaosSpec.quick()
+        drift = ChaosSpec.quick(rtt_drift=True)
+        for seed in range(20):
+            base = generate_schedule(seed, plain)
+            drifted = generate_schedule(seed, drift)
+            # Three prepended faults: a slow-link ramp on the workload
+            # path plus a jitter window per direction — composed from
+            # existing fault kinds, drawn *after* the base schedule so
+            # the rng prefix (and thus the base faults) is untouched.
+            assert drifted[3:] == base
+            ramp, j01, j10 = drifted[:3]
+            assert ramp.kind == "slow" and (ramp.src, ramp.dst) == (0, 1)
+            assert 48.0 <= ramp.factor <= 80.0
+            assert ramp.until_us > ramp.from_us > 0.0
+            for jit, pair in ((j01, (0, 1)), (j10, (1, 0))):
+                assert jit.kind == "jitter"
+                assert (jit.src, jit.dst) == pair
+                assert jit.max_us > 0.0
+
+    def test_adaptive_flag_never_reaches_the_generator(self):
+        # The basis of the static-vs-adaptive comparison: two specs
+        # differing only in `adaptive` expand to identical fault lists.
+        for seed in range(20):
+            assert (generate_schedule(seed, ChaosSpec.quick(rtt_drift=True))
+                    == generate_schedule(
+                        seed, ChaosSpec.quick(rtt_drift=True, adaptive=True)))
+
+    def test_rto_ceiling_validation(self):
+        with pytest.raises(ReproError):
+            ChaosSpec(rel_rto_ceiling_us=0.0)
+
     def test_fault_jsonable_omits_defaults(self):
         fault = ChaosFault(kind="drop", src=0, dst=1, nth=3)
         assert fault.to_jsonable() == {
@@ -449,6 +481,33 @@ class TestChaosHarness:
         assert not result.failed
         assert result.codes == ()
         assert result.runs == 1
+
+    def test_drift_drill_is_clean_in_both_modes(self):
+        # The CI sweep's drift drill: both twins of the comparison pass
+        # the full audit (the adaptive one under the spurious-retransmit
+        # budget the rto-thrash invariant enforces).
+        for adaptive in (False, True):
+            spec = ChaosSpec.quick(rtt_drift=True, adaptive=adaptive)
+            report = run_chaos(42, spec)
+            assert report.ok, [f.detail for f in report.findings]
+            assert report.delivered == report.n_messages
+
+    def test_auditor_catches_rto_thrash(self):
+        # A thrashing adaptive engine retransmits far beyond its loss
+        # evidence; the audit must pin it — and must hold the *adaptive*
+        # run only (a static run under drift blows the bound by design).
+        spec = ChaosSpec.quick(rtt_drift=True, adaptive=True)
+        world = run_schedule(42, spec, generate_schedule(42, spec))
+        assert "rto-thrash" not in {f.code for f in audit_run(world)}
+        sender = world.nodes[0][-1]
+        sender.stats.retransmits += 10_000  # simulate a thrashing clock
+        assert "rto-thrash" in {f.code for f in audit_run(world)}
+
+        static = ChaosSpec.quick(rtt_drift=True)
+        world = run_schedule(42, static, generate_schedule(42, static))
+        sender = world.nodes[0][-1]
+        sender.stats.retransmits += 10_000
+        assert "rto-thrash" not in {f.code for f in audit_run(world)}
 
 
 # -- property: byte-exact exactly-once under random fault composition ----------

@@ -265,3 +265,67 @@ class TestChaosCommand:
     def test_bad_seeds_rejected(self):
         with pytest.raises(SystemExit):
             run_cli("chaos", "--seeds", "0")
+
+
+class TestAdaptiveCli:
+    def test_auto_report_exposes_rtt_estimates(self):
+        code, text = run_cli("report", "--reliability", "ack",
+                             "--rel-timeout", "auto", "--messages", "20")
+        assert code == 0
+        assert "[adaptive]" in text and "[rtt]" in text
+        assert "srtt us" in text and "rttvar us" in text
+
+    def test_auto_json_report_is_complete(self):
+        from repro.netsim.stats import RTT_SNAPSHOT_KEYS
+
+        code, text = run_cli("report", "--reliability", "ack",
+                             "--rel-timeout", "auto", "--messages", "20",
+                             "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["config"]["rel_timeout"] == "auto"
+        assert payload["config"]["hedge"] is False
+        sender = payload["engines"][0]
+        assert sender["adaptive"]["rtt_samples"] > 0
+        assert sender["rtt"], "warm estimator missing from the report"
+        for entry in sender["rtt"].values():
+            assert set(entry) == set(RTT_SNAPSHOT_KEYS)
+
+    def test_static_override_and_cold_reports_stay_clean(self):
+        code, text = run_cli("report", "--reliability", "ack",
+                             "--rel-timeout", "500", "--messages", "10",
+                             "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["config"]["rel_timeout"] == 500.0
+        # No estimator in static mode: the rtt block is empty, the
+        # adaptive group all-zero — but both keys are always present.
+        for eng in payload["engines"]:
+            assert eng["rtt"] == {}
+            assert eng["adaptive"]["rtt_samples"] == 0
+
+    def test_hedged_report_runs_on_two_rails(self):
+        code, text = run_cli("report", "--reliability", "ack",
+                             "--rel-timeout", "auto", "--hedge",
+                             "--rails", "2", "--messages", "20", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["config"]["hedge"] is True
+        assert "hedges_sent" in payload["engines"][0]["adaptive"]
+
+    def test_bad_timing_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("report", "--reliability", "ack",
+                    "--rel-timeout", "bogus")
+        with pytest.raises(SystemExit):
+            run_cli("report", "--rel-timeout", "auto")  # needs ack mode
+        with pytest.raises(SystemExit):
+            run_cli("report", "--reliability", "ack", "--hedge")  # needs auto
+
+    def test_chaos_drift_drill_is_clean(self):
+        code, text = run_cli("chaos", "--seed", "42", "--quick",
+                             "--adaptive", "--rtt-drift")
+        assert code == 0
+        assert "1/1 seed(s) clean" in text
+        assert "slow x" in text  # the drift ramp was injected
+        assert "jitter" in text

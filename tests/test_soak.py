@@ -65,13 +65,18 @@ def test_bidirectional_soak(strategy, rails):
     assert engines[0].stats.eager_bytes + engines[0].stats.rdv_bytes == total
 
 
-def test_flood_soak_credit_mode_stays_bounded():
+@pytest.mark.parametrize("adaptive", [False, True],
+                         ids=["static", "rel-auto"])
+def test_flood_soak_credit_mode_stays_bounded(adaptive):
     """Four flooding senders vs one slow receiver under credit flow control.
 
     The overload-protection claim in one run: every sender's window stays
     bounded (deferred admission), the receiver's unexpected buffer never
     exceeds its byte budget (NACK-and-resend on overflow), and despite the
-    stalls, NACKs and resends every byte is delivered exactly once.
+    stalls, NACKs and resends every byte is delivered exactly once.  The
+    ``rel-auto`` variant stacks the adaptive timing layer on top
+    (``reliability="ack"``, ``rel_timeout_us="auto"``): measured grant
+    and NACK pacing must not break a single overload invariant.
     """
     n_senders = 4
     n_msgs = 120
@@ -79,12 +84,15 @@ def test_flood_soak_credit_mode_stays_bounded():
     max_wraps = 16
     sim = Simulator()
     cluster = Cluster(sim, n_nodes=n_senders + 1, rails=(MX_MYRI10G,))
+    timing = ({"reliability": "ack", "rel_timeout_us": "auto",
+               "rel_ack_delay_us": 10.0} if adaptive else {})
     params = EngineParams(
         flow_control="credit",
         credit_bytes=32 * 1024,
         credit_wraps=8,
         max_window_wraps=max_wraps,
         max_unexpected_bytes=budget,
+        **timing,
     )
     engines = [NmadEngine(cluster.node(i), params=params)
                for i in range(n_senders + 1)]
@@ -145,6 +153,14 @@ def test_flood_soak_credit_mode_stays_bounded():
     assert rx.stats.nacks_sent == rx.stats.unexpected_overflows
     assert rx.stats.nacks_sent == sum(engines[s].stats.nack_resends
                                       for s in range(n_senders))
+
+    if adaptive:
+        # The estimator measured the flood, and on a loss-free fabric the
+        # measured RTO never once fired at a healthy frame.
+        assert sum(engines[s].stats.rtt_samples
+                   for s in range(n_senders)) > 0
+        assert sum(engines[s].stats.retransmits
+                   for s in range(n_senders)) == 0
 
 
 def test_soak_with_cancellations():

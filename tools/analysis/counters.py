@@ -53,6 +53,8 @@ STATS_COUNTERS = frozenset({
     "peers_suspected", "peers_dead", "epochs_started",
     "stale_frames_fenced", "heartbeats_sent",
     "peers_recovered", "frames_parked",
+    "rtt_samples", "rto_backoffs", "hedges_sent", "hedges_won",
+    "deadlines_expired",
 })
 
 WINDOW_MODULE = "repro/core/window.py"
